@@ -1,0 +1,556 @@
+// Package oftec_bench is the benchmark harness that regenerates every
+// table and figure of the paper's evaluation section. Each testing.B
+// benchmark corresponds to one artifact (see DESIGN.md's experiment
+// index); run them all with
+//
+//	go test -bench=. -benchmem
+//
+// The series benchmarks report the paper's headline metrics as custom
+// benchmark metrics (feasible counts, power savings, peak-temperature
+// reductions) so a run doubles as a reproduction check.
+package oftec_bench
+
+import (
+	"math"
+	"testing"
+
+	"oftec/internal/core"
+	"oftec/internal/dvfs"
+	"oftec/internal/experiments"
+	"oftec/internal/solver"
+	"oftec/internal/thermal"
+	"oftec/internal/units"
+	"oftec/internal/workload"
+)
+
+// benchSetup is the paper's configuration at the full grid resolution:
+// the series benchmarks double as reproduction checks, and the
+// feasibility split (8/8 vs 3/8) only matches the paper at full
+// resolution (coarser grids smear the Dijkstra and Susan hot spots).
+func benchSetup() experiments.Setup {
+	return experiments.DefaultSetup()
+}
+
+func fullSetup() experiments.Setup { return experiments.DefaultSetup() }
+
+// BenchmarkFig6aSurface regenerates the maximum-die-temperature surface
+// 𝒯(ω, I_TEC) of Figure 6(a) for Basicmath.
+func BenchmarkFig6aSurface(b *testing.B) {
+	setup := benchSetup()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Surface(setup, "Basicmath", 20, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runaway := 0
+		for _, p := range pts {
+			if p.Runaway {
+				runaway++
+			}
+		}
+		if runaway == 0 {
+			b.Fatal("surface lost its runaway wall")
+		}
+		b.ReportMetric(float64(runaway), "runaway-pts")
+	}
+}
+
+// BenchmarkFig6bSurface regenerates the cooling-power surface 𝒫(ω, I_TEC)
+// of Figure 6(b); it shares the evaluation with Figure 6(a), so this
+// benchmark additionally verifies that the 𝒫 minimum sits near the origin
+// while the 𝒯 minimum is interior (the paper's observation that the two
+// problems have different optima).
+func BenchmarkFig6bSurface(b *testing.B) {
+	setup := benchSetup()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Surface(setup, "Basicmath", 20, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		minP, minT := pts[0], pts[0]
+		for _, p := range pts {
+			if p.Runaway {
+				continue
+			}
+			if minP.Runaway || p.Power < minP.Power {
+				minP = p
+			}
+			if minT.Runaway || p.MaxTemp < minT.MaxTemp {
+				minT = p
+			}
+		}
+		if minP.Omega >= minT.Omega {
+			b.Fatalf("𝒫 minimum (ω=%g) should sit at lower fan speed than the 𝒯 minimum (ω=%g)",
+				minP.Omega, minT.Omega)
+		}
+		b.ReportMetric(minP.Power, "minP-W")
+	}
+}
+
+// BenchmarkFig6cOpt2 regenerates Figure 6(c): maximum chip temperature
+// after Optimization 2 for all benchmarks and methods. (Figure 6(d)'s
+// power column comes from the same runs.)
+func BenchmarkFig6cOpt2(b *testing.B) {
+	setup := benchSetup()
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Opt2Series(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportOpt2Metrics(b, series)
+	}
+}
+
+func reportOpt2Metrics(b *testing.B, series []experiments.MethodResult) {
+	b.Helper()
+	// OFTEC's average temperature advantage over the variable-ω baseline
+	// (the paper reports >13 °C).
+	byBench := map[string]map[core.Mode]experiments.MethodResult{}
+	for _, r := range series {
+		if byBench[r.Benchmark] == nil {
+			byBench[r.Benchmark] = map[core.Mode]experiments.MethodResult{}
+		}
+		byBench[r.Benchmark][r.Mode] = r
+	}
+	var dT float64
+	var n int
+	for _, m := range byBench {
+		of, va := m[core.ModeHybrid], m[core.ModeVariableFan]
+		if math.IsInf(of.MaxTempC, 1) || math.IsInf(va.MaxTempC, 1) {
+			continue
+		}
+		dT += va.MaxTempC - of.MaxTempC
+		n++
+	}
+	if n > 0 {
+		b.ReportMetric(dT/float64(n), "ΔT-vs-var-°C")
+	}
+}
+
+// BenchmarkFig6eOpt1 regenerates Figure 6(e)/(f): Algorithm 1 across all
+// benchmarks and methods, reporting the aggregate Section 6.2 claims.
+func BenchmarkFig6eOpt1(b *testing.B) {
+	setup := benchSetup()
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Opt1Series(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := experiments.Summarize(series)
+		if sum.OFTECFeasible != 8 {
+			b.Fatalf("OFTEC feasible on %d/8", sum.OFTECFeasible)
+		}
+		if sum.VarFeasible != 3 {
+			b.Fatalf("variable-ω baseline feasible on %d/8, want 3 (paper shape)", sum.VarFeasible)
+		}
+		b.ReportMetric(float64(sum.OFTECFeasible), "oftec-feasible")
+		b.ReportMetric(float64(sum.VarFeasible), "var-feasible")
+		b.ReportMetric(sum.AvgPowerSavingVsVar, "ΔP-vs-var-%")
+		b.ReportMetric(sum.AvgTempReductionVsVar, "ΔT-vs-var-°C")
+	}
+}
+
+// BenchmarkTable2OFTEC regenerates Table 2: one sub-benchmark per MiBench
+// benchmark, timing the full OFTEC run (Algorithm 1) at the paper's full
+// grid resolution — the analogue of Table 2's runtime column.
+func BenchmarkTable2OFTEC(b *testing.B) {
+	setup := fullSetup()
+	for _, name := range workload.Names {
+		b.Run(name, func(b *testing.B) {
+			sysProto, err := setup.System(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = sysProto
+			b.ResetTimer()
+			var itec float64
+			for i := 0; i < b.N; i++ {
+				// Fresh system per iteration: Table 2 times a cold solve.
+				sys, err := setup.System(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out, err := sys.Run(core.Options{Mode: core.ModeHybrid})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !out.Feasible {
+					b.Fatalf("%s infeasible", name)
+				}
+				itec = out.ITEC
+			}
+			b.ReportMetric(itec, "I*-A")
+		})
+	}
+}
+
+// BenchmarkTECOnlyRunaway regenerates the Section 6.2 demonstration that a
+// TEC-only system (ω = 0) cannot avoid thermal runaway.
+func BenchmarkTECOnlyRunaway(b *testing.B) {
+	setup := benchSetup()
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.TECOnlySeries(setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range series {
+			if r.Feasible {
+				b.Fatalf("%s: TEC-only unexpectedly feasible", r.Benchmark)
+			}
+		}
+	}
+}
+
+// BenchmarkSolverComparison reproduces the Section 5.2 experiment: the
+// paper tried interior-point, trust-region, and active-set SQP and chose
+// SQP for quality and speed. One sub-benchmark per method.
+func BenchmarkSolverComparison(b *testing.B) {
+	setup := benchSetup()
+	for _, m := range []core.Method{
+		core.MethodSQP, core.MethodInteriorPoint,
+		core.MethodTrustRegion, core.MethodNelderMead,
+		core.MethodHookeJeeves,
+	} {
+		b.Run(m.String(), func(b *testing.B) {
+			var pw float64
+			for i := 0; i < b.N; i++ {
+				sys, err := setup.System("Basicmath")
+				if err != nil {
+					b.Fatal(err)
+				}
+				out, err := sys.Run(core.Options{Mode: core.ModeHybrid, Method: m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !out.Feasible {
+					b.Fatal("infeasible")
+				}
+				pw = out.CoolingPower()
+			}
+			b.ReportMetric(pw, "𝒫-W")
+		})
+	}
+}
+
+// BenchmarkTransientBoost times the Section 6.2 transient-boost study: a
+// two-second closed-loop simulation of the +1 A boost after a step load.
+func BenchmarkTransientBoost(b *testing.B) {
+	setup := benchSetup()
+	sys, err := setup.System("Quicksort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sys.Model()
+	omega := units.RPMToRadPerSec(2500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := m.NewTransient(omega, 2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for tr.Time() < 1.0 {
+			if _, err := tr.Step(0.05); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tr.SetOperatingPoint(omega, 1); err != nil {
+			b.Fatal(err)
+		}
+		for tr.Time() < 2.0 {
+			if _, err := tr.Step(0.05); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSteadyStateSolve is the micro-benchmark under everything above:
+// one assembly + sparse solve of constraint (14) at the paper's full
+// resolution (the cost of a single objective evaluation).
+func BenchmarkSteadyStateSolve(b *testing.B) {
+	setup := fullSetup()
+	sys, err := setup.System("Basicmath")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sys.Model()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Vary the operating point so the system's cache never hits.
+		omega := 200 + float64(i%97)
+		res, err := m.Evaluate(omega, 1+float64(i%5)/10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Runaway {
+			b.Fatal("unexpected runaway")
+		}
+	}
+}
+
+// BenchmarkAblationLeakageModel compares the one-solve Taylor-linearized
+// evaluation (what OFTEC uses, after ref [13]) against the fixed-point
+// iteration with exact exponential leakage — the speedup that motivates
+// Equation (4).
+func BenchmarkAblationLeakageModel(b *testing.B) {
+	setup := benchSetup()
+	sys, err := setup.System("Basicmath")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sys.Model()
+	b.Run("linearized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Evaluate(250+float64(i%13), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exact-fixed-point", func(b *testing.B) {
+		var iters int
+		for i := 0; i < b.N; i++ {
+			res, err := m.EvaluateExact(250+float64(i%13), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters = res.OuterIterations
+		}
+		b.ReportMetric(float64(iters), "outer-iters")
+	})
+}
+
+// BenchmarkAblationGridResolution sweeps the chip-grid resolution — the
+// accuracy/cost knob Section 4 discusses ("increasing the number of these
+// elements increases the accuracy ... and makes the analysis slow").
+func BenchmarkAblationGridResolution(b *testing.B) {
+	for _, res := range []int{8, 12, 16, 24} {
+		b.Run(benchName(res), func(b *testing.B) {
+			cfg := thermal.DefaultConfig()
+			cfg.ChipRes = res
+			setup := experiments.Setup{Config: cfg, Benchmarks: workload.All()}
+			sys, err := setup.System("Quicksort")
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := sys.Model()
+			var tmax float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := m.Evaluate(262+float64(i%7), 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tmax = r.MaxChipTemp
+			}
+			b.ReportMetric(units.KToC(tmax), "Tmax-°C")
+			b.ReportMetric(float64(m.NumNodes()), "nodes")
+		})
+	}
+}
+
+func benchName(res int) string {
+	switch res {
+	case 8:
+		return "chip8x8"
+	case 12:
+		return "chip12x12"
+	case 16:
+		return "chip16x16"
+	case 24:
+		return "chip24x24"
+	}
+	return "chip"
+}
+
+// BenchmarkAblationConstraintMargin probes Algorithm 1's sensitivity to
+// the numerical back-off from the strict T < T_max constraint.
+func BenchmarkAblationConstraintMargin(b *testing.B) {
+	setup := benchSetup()
+	for _, margin := range []float64{0.01, 0.05, 0.25} {
+		b.Run(marginName(margin), func(b *testing.B) {
+			var pw float64
+			for i := 0; i < b.N; i++ {
+				sys, err := setup.System("Quicksort")
+				if err != nil {
+					b.Fatal(err)
+				}
+				out, err := sys.Run(core.Options{Mode: core.ModeHybrid, ConstraintMargin: margin})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !out.Feasible {
+					b.Fatal("infeasible")
+				}
+				pw = out.CoolingPower()
+			}
+			b.ReportMetric(pw, "𝒫-W")
+		})
+	}
+}
+
+func marginName(m float64) string {
+	switch m {
+	case 0.01:
+		return "margin10mK"
+	case 0.05:
+		return "margin50mK"
+	case 0.25:
+		return "margin250mK"
+	}
+	return "margin"
+}
+
+// BenchmarkQPSubproblem isolates the active-set QP kernel inside the SQP.
+func BenchmarkQPSubproblem(b *testing.B) {
+	p := &solver.Problem{
+		F: func(x []float64) float64 {
+			return (x[0]-3)*(x[0]-3) + 2*(x[1]+1)*(x[1]+1)
+		},
+		Cons: []solver.Func{
+			func(x []float64) float64 { return x[0] + x[1] - 2 },
+		},
+		Lower: []float64{-5, -5},
+		Upper: []float64{5, 5},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.ActiveSetSQP(p, []float64{0, 0}, solver.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZonedControlAblation compares the paper's single series string
+// (one shared current) against the zoned extension (one current per
+// cluster): the k = 1 case is a restriction of the zoned space, so the
+// reported per-variant 𝒫 quantifies what finer current control buys.
+func BenchmarkZonedControlAblation(b *testing.B) {
+	setup := benchSetup()
+	b.Run("uniform-current", func(b *testing.B) {
+		var pw float64
+		for i := 0; i < b.N; i++ {
+			sys, err := setup.System("Quicksort")
+			if err != nil {
+				b.Fatal(err)
+			}
+			out, err := sys.Run(core.Options{Mode: core.ModeHybrid})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !out.Feasible {
+				b.Fatal("infeasible")
+			}
+			pw = out.CoolingPower()
+		}
+		b.ReportMetric(pw, "𝒫-W")
+	})
+	b.Run("three-zones", func(b *testing.B) {
+		var pw float64
+		for i := 0; i < b.N; i++ {
+			sys, err := setup.System("Quicksort")
+			if err != nil {
+				b.Fatal(err)
+			}
+			assign, n := core.ClusterZones()
+			z, err := sys.Model().NewZoning(assign, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out, err := sys.RunZoned(z, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !out.Feasible {
+				b.Fatal("infeasible")
+			}
+			pw = out.CoolingPower()
+		}
+		b.ReportMetric(pw, "𝒫-W")
+	})
+}
+
+// BenchmarkThrottlingFallback times the Section 6.2 DVFS comparison: how
+// far the fan-only baseline must throttle on the suite, which OFTEC
+// avoids entirely.
+func BenchmarkThrottlingFallback(b *testing.B) {
+	setup := fullSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ThrottlingSeries(setup, dvfs.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		throttled := 0
+		for _, r := range rows {
+			if r.PerformanceLoss > 0 {
+				throttled++
+			}
+			if r.PerformanceLoss > worst {
+				worst = r.PerformanceLoss
+			}
+			if !r.OFTECFeasible {
+				b.Fatalf("%s: OFTEC infeasible", r.Benchmark)
+			}
+		}
+		b.ReportMetric(float64(throttled), "benchmarks-throttled")
+		b.ReportMetric(worst*100, "worst-loss-%")
+	}
+}
+
+// BenchmarkParetoFront traces the cooling-power vs. peak-temperature
+// trade-off curve Algorithm 1 navigates.
+func BenchmarkParetoFront(b *testing.B) {
+	setup := benchSetup()
+	thresholds := []float64{
+		units.CToK(95), units.CToK(92), units.CToK(90), units.CToK(88), units.CToK(86),
+	}
+	for i := 0; i < b.N; i++ {
+		sys, err := setup.System("Quicksort")
+		if err != nil {
+			b.Fatal(err)
+		}
+		front, err := sys.ParetoFront(thresholds, core.Options{Mode: core.ModeHybrid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		feasible := 0
+		for _, p := range front {
+			if p.Feasible {
+				feasible++
+			}
+		}
+		b.ReportMetric(float64(feasible), "feasible-pts")
+	}
+}
+
+// BenchmarkSeebeckSensitivity sweeps the thermoelectric material quality
+// (the lever Section 3's device research pushes): at zero Seebeck the
+// hybrid system degenerates to the fan-only baseline.
+func BenchmarkSeebeckSensitivity(b *testing.B) {
+	setup := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SeebeckSensitivity(setup, "Quicksort", []float64{0.5, 1, 1.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.SeebeckScale >= 1 && !r.Feasible {
+				b.Fatalf("scale %.2f infeasible", r.SeebeckScale)
+			}
+		}
+		b.ReportMetric(rows[1].PowerW, "𝒫-nominal-W")
+	}
+}
+
+// BenchmarkCoverageStudy reruns the refs [6][7] deployment comparison.
+func BenchmarkCoverageStudy(b *testing.B) {
+	setup := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.CoverageStudy(setup, "Quicksort")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].TECPowerW, "paper-deploy-TEC-W")
+		b.ReportMetric(rows[2].TECPowerW, "spot-deploy-TEC-W")
+	}
+}

@@ -1,0 +1,162 @@
+// Command oftec runs the OFTEC controller (Algorithm 1 of the paper) on
+// one MiBench benchmark and prints the chosen operating point, the
+// resulting thermal state, and the cooling power breakdown.
+//
+// Usage:
+//
+//	oftec [-bench Basicmath] [-mode oftec|var|fixed|teconly]
+//	      [-method sqp|interior|trust|neldermead] [-opt2] [-exact]
+//	      [-res 16] [-tmax 90] [-ambient 45]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"oftec/internal/core"
+	"oftec/internal/experiments"
+	"oftec/internal/thermal"
+	"oftec/internal/units"
+	"oftec/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("oftec: ")
+
+	var (
+		bench   = flag.String("bench", "Basicmath", "benchmark name (one of "+strings.Join(workload.Names, ", ")+")")
+		mode    = flag.String("mode", "oftec", "cooling mode: oftec, var, fixed, teconly")
+		method  = flag.String("method", "sqp", "NLP method: sqp, interior, trust, neldermead")
+		opt2    = flag.Bool("opt2", false, "solve Optimization 2 only (minimize the maximum temperature)")
+		exact   = flag.Bool("exact", false, "verify the result with the exact exponential leakage model")
+		res     = flag.Int("res", 16, "chip-layer grid resolution (cells per edge)")
+		tmaxC   = flag.Float64("tmax", 90, "thermal threshold T_max in °C")
+		ambient = flag.Float64("ambient", 45, "ambient temperature in °C")
+		cfgPath = flag.String("config", "", "load the package configuration from a JSON file (see -saveconfig)")
+		cfgDump = flag.String("saveconfig", "", "write the effective configuration as JSON to this file and exit")
+		heatmap = flag.String("heatmap", "", "write the chip-layer temperature field at the optimum as CSV")
+	)
+	flag.Parse()
+
+	cfg := thermal.DefaultConfig()
+	if *cfgPath != "" {
+		f, err := os.Open(*cfgPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg, err = thermal.LoadConfig(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg.ChipRes = *res
+		cfg.TMax = units.CToK(*tmaxC)
+		cfg.Ambient = units.CToK(*ambient)
+	}
+	if *cfgDump != "" {
+		f, err := os.Create(*cfgDump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = thermal.SaveConfig(f, cfg)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote configuration to %s\n", *cfgDump)
+		return
+	}
+
+	opts := core.Options{SkipOpt1: *opt2, VerifyExact: *exact}
+	switch *mode {
+	case "oftec":
+		opts.Mode = core.ModeHybrid
+	case "var":
+		opts.Mode = core.ModeVariableFan
+	case "fixed":
+		opts.Mode = core.ModeFixedFan
+	case "teconly":
+		opts.Mode = core.ModeTECOnly
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	switch *method {
+	case "sqp":
+		opts.Method = core.MethodSQP
+	case "interior":
+		opts.Method = core.MethodInteriorPoint
+	case "trust":
+		opts.Method = core.MethodTrustRegion
+	case "neldermead":
+		opts.Method = core.MethodNelderMead
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+
+	setup := experiments.Setup{Config: cfg, Benchmarks: workload.All()}
+	sys, err := setup.System(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, _ := workload.ByName(*bench)
+	m := sys.Model()
+	fmt.Printf("benchmark    %s — %s\n", b.Name, b.Description)
+	fmt.Printf("model        %d nodes, %d TEC modules, %.1f W dynamic power\n",
+		m.NumNodes(), m.NumTEC(), m.DynamicPowerTotal())
+	fmt.Printf("constraints  T_max %.1f °C, ω ≤ %.0f RPM, I ≤ %.1f A, ambient %.1f °C\n\n",
+		units.KToC(cfg.TMax), units.RadPerSecToRPM(cfg.Fan.OmegaMax), cfg.TEC.MaxCurrent, units.KToC(cfg.Ambient))
+
+	out, err := sys.Run(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	if out.Result != nil && !out.Result.Runaway {
+		r := out.Result
+		fmt.Printf("\n  𝒯 (max chip temp)   %.2f °C\n", units.KToC(r.MaxChipTemp))
+		hu, err := m.HottestUnit(r)
+		if err == nil {
+			fmt.Printf("  hottest unit        %s\n", hu)
+		}
+		fmt.Printf("  𝒫 (cooling power)   %.2f W = leakage %.2f + TEC %.2f + fan %.2f\n",
+			r.CoolingPower(), r.PLeakage, r.PTEC, r.PFan)
+		fmt.Printf("  operating point     ω* = %.0f RPM (%.0f rad/s), I*_TEC = %.2f A\n",
+			units.RadPerSecToRPM(out.Omega), out.Omega, out.ITEC)
+		fmt.Printf("  runtime             %v\n", out.Runtime.Round(time.Millisecond))
+	}
+	if out.ExactResult != nil {
+		if out.ExactResult.Runaway {
+			fmt.Println("\n  exact-leakage check: THERMAL RUNAWAY at this operating point")
+		} else {
+			fmt.Printf("\n  exact-leakage check: 𝒯 = %.2f °C (%d fixed-point iterations)\n",
+				units.KToC(out.ExactResult.MaxChipTemp), out.ExactResult.OuterIterations)
+		}
+	}
+	if *heatmap != "" && out.Result != nil && !out.Result.Runaway {
+		f, err := os.Create(*heatmap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = m.WriteHeatmapCSV(f, out.Result, "chip")
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n  chip heatmap written to %s\n", *heatmap)
+	}
+	if !out.Feasible {
+		os.Exit(2)
+	}
+}

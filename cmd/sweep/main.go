@@ -1,0 +1,80 @@
+// Command sweep regenerates the objective-function surfaces of Figure
+// 6(a) (maximum die temperature 𝒯) and Figure 6(b) (cooling power 𝒫) for
+// one benchmark, emitting CSV with one row per (ω, I_TEC) grid point.
+// Runaway operating points (the dark-red region of the figures) are
+// reported as "inf".
+//
+// Usage:
+//
+//	sweep [-bench Basicmath] [-nomega 40] [-ni 26] [-res 16] [-o out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"oftec/internal/experiments"
+	"oftec/internal/thermal"
+	"oftec/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+
+	var (
+		bench  = flag.String("bench", "Basicmath", "benchmark name (the paper plots Basicmath)")
+		nOmega = flag.Int("nomega", 40, "grid points along the ω axis")
+		nI     = flag.Int("ni", 26, "grid points along the I_TEC axis")
+		res    = flag.Int("res", 16, "chip-layer grid resolution")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	cfg := thermal.DefaultConfig()
+	cfg.ChipRes = *res
+	setup := experiments.Setup{Config: cfg, Benchmarks: workload.All()}
+
+	pts, err := experiments.Surface(setup, *bench, *nOmega, *nI)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := experiments.WriteSurfaceCSV(w, pts); err != nil {
+		log.Fatal(err)
+	}
+
+	// Report the qualitative features the paper highlights.
+	var runaway int
+	minT, minP := pts[0], pts[0]
+	for _, p := range pts {
+		if p.Runaway {
+			runaway++
+			continue
+		}
+		if p.MaxTemp < minT.MaxTemp || minT.Runaway {
+			minT = p
+		}
+		if p.Power < minP.Power || minP.Runaway {
+			minP = p
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d/%d grid points in thermal runaway (low-ω wall)\n", runaway, len(pts))
+	fmt.Fprintf(os.Stderr, "sweep: min 𝒯 at ω=%.0f rad/s, I=%.2f A (interior basin, cf. Fig. 6(a))\n", minT.Omega, minT.ITEC)
+	fmt.Fprintf(os.Stderr, "sweep: min 𝒫 at ω=%.0f rad/s, I=%.2f A (near the origin, cf. Fig. 6(b))\n", minP.Omega, minP.ITEC)
+}

@@ -1,0 +1,83 @@
+// Look-up-table controller: making OFTEC's solutions available instantly.
+//
+// Section 6.2 of the paper: "with the current runtime of OFTEC, one can
+// classify the input dynamic power vector to different categories and
+// pre-calculate optimization solutions and store them in a look-up table.
+// In this way, the desired controlling values can be accessed immediately."
+//
+// This example precomputes OFTEC solutions for a ladder of power levels of
+// one workload shape (the offline phase), then services a sequence of load
+// changes from the table and compares lookup latency against solving from
+// scratch.
+//
+//	go run ./examples/lut_controller
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"oftec/internal/controller"
+	"oftec/internal/core"
+	"oftec/internal/thermal"
+	"oftec/internal/units"
+	"oftec/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := thermal.DefaultConfig()
+	bench, err := workload.ByName("Dijkstra")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := bench.PowerMap(cfg.Floorplan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := thermal.NewModel(cfg, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := core.NewSystem(model)
+
+	// Offline: precompute the table (this is the expensive part).
+	levels := []float64{15, 20, 25, 30, 35, 40}
+	start := time.Now()
+	lut, err := controller.BuildLUT(sys, base, levels, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildTime := time.Since(start)
+	fmt.Printf("offline: built %d-entry LUT in %v (%s-shaped workload)\n\n",
+		len(lut.Entries()), buildTime.Round(time.Millisecond), bench.Name)
+	fmt.Println("  level(W)   ω*(RPM)   I*(A)")
+	for _, e := range lut.Entries() {
+		fmt.Printf("   %5.0f      %5.0f    %5.2f\n", e.TotalPower, units.RadPerSecToRPM(e.Omega), e.ITEC)
+	}
+
+	// Online: a sequence of observed power levels, served from the table.
+	fmt.Println("\nonline: load changes served from the table")
+	for _, observed := range []float64{18.2, 33.5, 27.9, 40.0, 16.1} {
+		t0 := time.Now()
+		omega, itec := lut.Lookup(observed)
+		lookup := time.Since(t0)
+		fmt.Printf("  load %5.1f W → ω=%4.0f RPM, I=%.2f A   (lookup %v)\n",
+			observed, units.RadPerSecToRPM(omega), itec, lookup)
+	}
+
+	// For contrast: one cold OFTEC solve at an intermediate level.
+	if err := model.SetDynamicPower(base.Scale(28.0 / base.Total())); err != nil {
+		log.Fatal(err)
+	}
+	cold := core.NewSystem(model)
+	out, err := cold.Run(core.Options{Mode: core.ModeHybrid})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsolving the same decision from scratch takes %v — the table answers\n",
+		out.Runtime.Round(time.Millisecond))
+	fmt.Println("in nanoseconds, at the cost of quantized (conservative) operating points.")
+}

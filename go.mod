@@ -1,0 +1,3 @@
+module oftec
+
+go 1.22

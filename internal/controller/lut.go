@@ -1,0 +1,58 @@
+package controller
+
+import (
+	"fmt"
+
+	"oftec/internal/core"
+	"oftec/internal/power"
+)
+
+// BuildLUT precomputes OFTEC solutions for a family of power levels, the
+// offline half of the look-up-table controller the paper proposes in
+// Section 6.2: "one can classify the input dynamic power vector to
+// different categories and pre-calculate optimization solutions and store
+// them in a look-up table. In this way, the desired controlling values can
+// be accessed immediately."
+//
+// The base power map fixes the spatial shape of the workload; each level
+// scales it to the requested total power, runs Algorithm 1, and stores
+// (ω*, I*_TEC). Levels whose Optimization 1 is infeasible are rejected —
+// the table must only hand out safe operating points.
+func BuildLUT(sys *core.System, base power.Map, totalPowers []float64, opts core.Options) (*LUT, error) {
+	if len(totalPowers) == 0 {
+		return nil, fmt.Errorf("controller: BuildLUT needs at least one power level")
+	}
+	baseTotal := base.Total()
+	if baseTotal <= 0 {
+		return nil, fmt.Errorf("controller: base power map has non-positive total %g", baseTotal)
+	}
+	model := sys.Model()
+	originalCells := base.Clone()
+	defer func() {
+		// Restore the model's original workload regardless of outcome.
+		_ = model.SetDynamicPower(originalCells)
+	}()
+
+	entries := make([]LUTEntry, 0, len(totalPowers))
+	for _, level := range totalPowers {
+		if level <= 0 {
+			return nil, fmt.Errorf("controller: power level %g must be positive", level)
+		}
+		if err := model.SetDynamicPower(base.Scale(level / baseTotal)); err != nil {
+			return nil, err
+		}
+		// A fresh system per level: the evaluation cache keys only on the
+		// operating point, not on the workload.
+		levelSys := core.NewSystem(model)
+		opts.Mode = core.ModeHybrid
+		out, err := levelSys.Run(opts)
+		if err != nil {
+			return nil, fmt.Errorf("controller: LUT level %g W: %w", level, err)
+		}
+		if !out.Feasible {
+			return nil, fmt.Errorf("controller: LUT level %g W is thermally infeasible", level)
+		}
+		entries = append(entries, LUTEntry{TotalPower: level, Omega: out.Omega, ITEC: out.ITEC})
+	}
+	return NewLUT(entries)
+}

@@ -1,0 +1,85 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"oftec/internal/core"
+	"oftec/internal/thermal"
+)
+
+// OFTECOnline is the online controller the paper anticipates in Section
+// 6.2 ("implementing the active-set SQP method in C ... allows OFTEC to
+// be used as an online controlling algorithm"): every ReplanPeriod of
+// simulated time it re-runs Algorithm 1 against the plant's current
+// dynamic power map and applies the fresh (ω*, I*). Between re-plans it
+// optionally boosts the TEC current (the ref [8] bridge) while the next
+// solution would still be computing.
+//
+// The controller reads the model's current workload when it re-plans, so
+// it must drive the same model instance the simulation updates (which is
+// what TraceSimulate does).
+type OFTECOnline struct {
+	// Model is the plant whose workload is sensed at each re-plan.
+	Model *thermal.Model
+	// ReplanPeriod is the simulated time between optimizations (the paper
+	// measures ~0.4 s per solve).
+	ReplanPeriod float64
+	// Options configures each Algorithm 1 run.
+	Options core.Options
+
+	nextPlan    float64
+	omega, itec float64
+	planned     bool
+	// SolveTime accumulates wall-clock time spent in the optimizer, so
+	// experiments can report the cost of running OFTEC in the loop.
+	SolveTime time.Duration
+	// Replans counts optimizer invocations.
+	Replans int
+	// LastErr records a failed re-plan (the controller then holds the
+	// previous operating point).
+	LastErr error
+}
+
+// Validate reports whether the controller is runnable.
+func (c *OFTECOnline) Validate() error {
+	if c.Model == nil {
+		return fmt.Errorf("controller: online OFTEC needs a model")
+	}
+	if c.ReplanPeriod <= 0 {
+		return fmt.Errorf("controller: re-plan period %g must be positive", c.ReplanPeriod)
+	}
+	return nil
+}
+
+// Name implements Controller.
+func (c *OFTECOnline) Name() string { return "oftec-online" }
+
+// Act implements Controller: it re-plans when the period elapses and
+// otherwise holds the last operating point.
+func (c *OFTECOnline) Act(t, maxChipTemp float64) (float64, float64) {
+	if !c.planned || t >= c.nextPlan {
+		c.replan()
+		c.nextPlan = t + c.ReplanPeriod
+		c.planned = true
+	}
+	return c.omega, c.itec
+}
+
+func (c *OFTECOnline) replan() {
+	start := time.Now()
+	opts := c.Options
+	opts.Mode = core.ModeHybrid
+	out, err := core.NewSystem(c.Model).Run(opts)
+	c.SolveTime += time.Since(start)
+	c.Replans++
+	if err != nil {
+		c.LastErr = err
+		return
+	}
+	// Apply even a "best effort" point when infeasible: the minimum-
+	// temperature solution from the feasibility phase is still the best
+	// available action.
+	c.omega, c.itec = out.Omega, out.ITEC
+	c.LastErr = nil
+}

@@ -1,0 +1,94 @@
+package controller
+
+import (
+	"testing"
+
+	"oftec/internal/units"
+	"oftec/internal/workload"
+)
+
+func TestOFTECOnlineValidate(t *testing.T) {
+	m := testModel(t, "CRC32")
+	good := &OFTECOnline{Model: m, ReplanPeriod: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&OFTECOnline{ReplanPeriod: 0.5}).Validate(); err == nil {
+		t.Error("nil model accepted")
+	}
+	if err := (&OFTECOnline{Model: m}).Validate(); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestOFTECOnlineReplansOnSchedule(t *testing.T) {
+	m := testModel(t, "Basicmath")
+	c := &OFTECOnline{Model: m, ReplanPeriod: 1.0}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// First call plans immediately; calls inside the period hold.
+	w0, i0 := c.Act(0, 330)
+	if c.Replans != 1 {
+		t.Fatalf("replans = %d after first Act", c.Replans)
+	}
+	w1, i1 := c.Act(0.5, 330)
+	if c.Replans != 1 || w1 != w0 || i1 != i0 {
+		t.Errorf("controller did not hold inside the period")
+	}
+	c.Act(1.1, 330)
+	if c.Replans != 2 {
+		t.Errorf("replans = %d after period elapsed, want 2", c.Replans)
+	}
+	if c.SolveTime <= 0 {
+		t.Error("solve time not accounted")
+	}
+	if i0 <= 0 {
+		t.Errorf("OFTEC online chose I = %g on Basicmath, want positive", i0)
+	}
+}
+
+func TestOFTECOnlineTracksLoadChanges(t *testing.T) {
+	// Closed loop over a Quicksort phase trace: the online controller must
+	// keep the plant feasible while spending less than the static
+	// worst-case operating point when the load drops.
+	m := testModel(t, "Quicksort")
+	b, err := workload.ByName("Quicksort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := b.Trace(m.Config().Floorplan, 1.0, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &OFTECOnline{Model: m, ReplanPeriod: 0.25}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	detail, err := TraceSimulate(m, c, tr, 1.0, 0.01, 0.05, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(detail, units.KToC(m.Config().TMax))
+	if sum.ViolationTime > 0.05 {
+		t.Errorf("online OFTEC violated T_max for %g s", sum.ViolationTime)
+	}
+	if c.Replans < 3 {
+		t.Errorf("only %d re-plans over 1 s at 0.25 s period", c.Replans)
+	}
+	if c.LastErr != nil {
+		t.Errorf("last re-plan failed: %v", c.LastErr)
+	}
+	// The controller must actually modulate with the phases: the applied
+	// current must not be constant across the run.
+	first, varied := detail[0].ITEC, false
+	for _, p := range detail {
+		if p.ITEC != first {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Error("online controller never changed the operating point")
+	}
+}

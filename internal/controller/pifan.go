@@ -1,0 +1,68 @@
+package controller
+
+import (
+	"fmt"
+
+	"oftec/internal/units"
+)
+
+// PIFan is a conventional proportional-integral fan-speed controller — the
+// kind of closed-loop policy reference [11]'s systems use. It regulates
+// the peak chip temperature to a set point by modulating ω, with the TECs
+// at a fixed current. Included as a dynamic baseline against OFTEC's
+// model-based operating points.
+type PIFan struct {
+	// Setpoint is the target peak chip temperature in kelvin.
+	Setpoint float64
+	// Kp and Ki are the proportional and integral gains, in rad/s per K
+	// and rad/s per (K·s).
+	Kp, Ki float64
+	// OmegaMin and OmegaMax bound the actuation in rad/s.
+	OmegaMin, OmegaMax float64
+	// ITEC is the fixed TEC current in A.
+	ITEC float64
+
+	integral float64
+	lastTime float64
+	primed   bool
+}
+
+// Validate reports whether the controller parameters are usable.
+func (c *PIFan) Validate() error {
+	if c.Setpoint <= 0 {
+		return fmt.Errorf("controller: PI set point %g must be positive kelvin", c.Setpoint)
+	}
+	if c.Kp < 0 || c.Ki < 0 {
+		return fmt.Errorf("controller: PI gains (%g, %g) must be non-negative", c.Kp, c.Ki)
+	}
+	if c.OmegaMax <= c.OmegaMin || c.OmegaMin < 0 {
+		return fmt.Errorf("controller: PI speed bounds [%g, %g] invalid", c.OmegaMin, c.OmegaMax)
+	}
+	return nil
+}
+
+// Name implements Controller.
+func (c *PIFan) Name() string { return "pi-fan" }
+
+// Act implements Controller. The integral term uses the time elapsed since
+// the previous call and is clamped by back-calculation when the actuator
+// saturates (anti-windup).
+func (c *PIFan) Act(t, maxChipTemp float64) (float64, float64) {
+	dt := 0.0
+	if c.primed && t > c.lastTime {
+		dt = t - c.lastTime
+	}
+	c.lastTime = t
+	c.primed = true
+
+	err := maxChipTemp - c.Setpoint
+	c.integral += err * dt
+
+	omega := c.Kp*err + c.Ki*c.integral
+	clamped := units.Clamp(omega, c.OmegaMin, c.OmegaMax)
+	if clamped != omega && c.Ki > 0 {
+		// Anti-windup: bleed the integral so the command sits at the rail.
+		c.integral = (clamped - c.Kp*err) / c.Ki
+	}
+	return clamped, c.ITEC
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"oftec/internal/solver"
+	"oftec/internal/thermal"
+	"oftec/internal/units"
+)
+
+// Options configures a controller run.
+type Options struct {
+	// Mode restricts the decision space (OFTEC vs. the baselines).
+	Mode Mode
+	// Method selects the NLP technique; the zero value is the paper's
+	// active-set SQP.
+	Method Method
+	// FixedOmega is the pinned fan speed for ModeFixedFan, in rad/s. Zero
+	// selects the paper's 2000 RPM.
+	FixedOmega float64
+	// Solver tunes the underlying NLP solver.
+	Solver solver.Options
+	// SkipOpt1 stops after the feasibility phase (pure Optimization 2,
+	// used to generate Figure 6(c)/(d)).
+	SkipOpt1 bool
+	// VerifyExact re-evaluates the final operating point with the exact
+	// exponential leakage model and reports it in Outcome.ExactResult.
+	VerifyExact bool
+	// ConstraintMargin backs the optimizer's constraint off the strict
+	// threshold: the solver enforces T ≤ T_max − margin so the returned
+	// point satisfies the paper's strict T < T_max. Zero selects 0.05 K.
+	ConstraintMargin float64
+	// MultiStart additionally launches Optimization 1 from the domain
+	// corners (center start remains first), guarding against the "minor
+	// non-convexities" the paper observes in Figure 6. Costs roughly 5×
+	// the solver time.
+	MultiStart bool
+	// TMax overrides the thermal threshold (kelvin) for this run; zero
+	// uses the model configuration's T_max. Pareto sweeps use this to
+	// trace the power/temperature trade-off.
+	TMax float64
+}
+
+func (o Options) tMax(cfg thermal.Config) float64 {
+	if o.TMax > 0 {
+		return o.TMax
+	}
+	return cfg.TMax
+}
+
+func (o Options) margin() float64 {
+	if o.ConstraintMargin > 0 {
+		return o.ConstraintMargin
+	}
+	return 0.05
+}
+
+func (o Options) fixedOmega() float64 {
+	if o.FixedOmega != 0 {
+		return o.FixedOmega
+	}
+	return units.RPMToRadPerSec(2000)
+}
+
+// Outcome reports one controller run.
+type Outcome struct {
+	// Mode and Method echo the configuration.
+	Mode   Mode
+	Method Method
+
+	// Omega and ITEC are the chosen operating point (ω*, I*_TEC).
+	Omega, ITEC float64
+	// Result is the steady state at the operating point (linearized
+	// leakage, the model the optimizer used).
+	Result *thermal.Result
+	// ExactResult is the steady state under exact exponential leakage
+	// (only when Options.VerifyExact).
+	ExactResult *thermal.Result
+
+	// Feasible reports whether the thermal constraint is met at the
+	// operating point. A false value with FailedAtOpt2 set is Algorithm
+	// 1's "Return failed" branch.
+	Feasible     bool
+	FailedAtOpt2 bool
+
+	// MinMaxTemp is the 𝒯 value achieved by the feasibility phase
+	// (Optimization 2); for SkipOpt1 runs it equals Result.MaxChipTemp.
+	MinMaxTemp float64
+
+	// Opt2Report and Opt1Report expose the raw solver reports.
+	Opt2Report, Opt1Report solver.Report
+
+	// Runtime is the wall-clock duration of the full run.
+	Runtime time.Duration
+}
+
+// CoolingPower returns 𝒫 at the chosen operating point.
+func (o *Outcome) CoolingPower() float64 {
+	if o.Result == nil {
+		return 0
+	}
+	return o.Result.CoolingPower()
+}
+
+// String renders a one-line summary.
+func (o *Outcome) String() string {
+	status := "feasible"
+	if !o.Feasible {
+		status = "INFEASIBLE"
+		if o.FailedAtOpt2 {
+			status = "FAILED (Optimization 2 cannot reach T_max)"
+		}
+	}
+	return fmt.Sprintf("%s/%s: ω*=%.0f RPM I*=%.2f A, %s, %v",
+		o.Mode, o.Method, units.RadPerSecToRPM(o.Omega), o.ITEC, status, o.Runtime.Round(time.Millisecond))
+}
+
+// Run executes Algorithm 1 (OFTEC):
+//
+//  1. Start from (ω_max/2, I_max/2) — the middle of the plane, where
+//     Figure 6(a) locates the 𝒯 surface's basin.
+//  2. If 𝒯 at the start exceeds T_max, solve Optimization 2 (minimize the
+//     maximum chip temperature), stopping as soon as 𝒯 < T_max.
+//  3. If even the minimized 𝒯 exceeds T_max, return failed.
+//  4. Otherwise solve Optimization 1 (minimize 𝒫 subject to T < T_max)
+//     from the feasible point and return (ω*, I*_TEC).
+//
+// Baseline modes run the same algorithm in their restricted decision
+// spaces.
+func (s *System) Run(opts Options) (*Outcome, error) {
+	start := time.Now()
+	cfg := s.model.Config()
+
+	lower, upper, err := s.bounds(opts.Mode, opts.fixedOmega())
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Mode: opts.Mode, Method: opts.Method}
+
+	// Line 1: initial point at the middle of the (restricted) domain.
+	x0 := []float64{(lower[0] + upper[0]) / 2, (lower[1] + upper[1]) / 2}
+
+	tMaxSolve := opts.tMax(cfg) - opts.margin()
+	tempObj := func(x []float64) float64 { return s.maxTemp(x[0], x[1]) }
+	tempCons := func(x []float64) float64 { return s.maxTemp(x[0], x[1]) - tMaxSolve }
+	powerObj := func(x []float64) float64 { return s.coolingPower(x[0], x[1]) }
+
+	// Lines 2-5: feasibility phase (Optimization 2). When SkipOpt1 is set
+	// (MinimizeMaxTemp), Optimization 2 is solved unconditionally and to
+	// convergence; inside Algorithm 1 it only runs when the starting point
+	// is infeasible, and stops early as soon as 𝒯 < T_max.
+	x1 := x0
+	t1 := tempObj(x0)
+	if t1 > tMaxSolve || opts.SkipOpt1 {
+		p2 := &solver.Problem{F: tempObj, Lower: lower, Upper: upper}
+		o2 := opts.Solver
+		if !opts.SkipOpt1 {
+			// Algorithm 1 line 3: stop Optimization 2 early once feasible.
+			prev := opts.Solver.StopWhen
+			o2.StopWhen = func(x []float64, f float64) bool {
+				if f < tMaxSolve {
+					return true
+				}
+				return prev != nil && prev(x, f)
+			}
+		}
+		rep, err := opts.Method.run(p2, x0, o2)
+		if err != nil {
+			return nil, fmt.Errorf("core: optimization 2 failed: %w", err)
+		}
+		out.Opt2Report = rep
+		if rep.F <= t1 {
+			x1 = rep.X
+			t1 = rep.F
+		}
+	}
+	out.MinMaxTemp = t1
+
+	if t1 > tMaxSolve {
+		// Line 5: no solution.
+		out.FailedAtOpt2 = true
+		out.Omega, out.ITEC = x1[0], x1[1]
+		if err := s.finish(out, opts); err != nil {
+			return nil, err
+		}
+		out.Runtime = time.Since(start)
+		return out, nil
+	}
+
+	if opts.SkipOpt1 {
+		out.Omega, out.ITEC = x1[0], x1[1]
+		if err := s.finish(out, opts); err != nil {
+			return nil, err
+		}
+		out.Runtime = time.Since(start)
+		return out, nil
+	}
+
+	// Line 6: Optimization 1 from the feasible start.
+	p1 := &solver.Problem{
+		F:     powerObj,
+		Cons:  []solver.Func{tempCons},
+		Lower: lower,
+		Upper: upper,
+	}
+	var rep solver.Report
+	if opts.MultiStart {
+		starts, serr := solver.CornerStarts(p1, 0.05)
+		if serr != nil {
+			return nil, fmt.Errorf("core: multistart setup failed: %w", serr)
+		}
+		// The feasible point from phase 2 leads the list so the plain
+		// Algorithm 1 path is always among the candidates.
+		starts = append([][]float64{x1}, starts...)
+		rep, err = solver.MultiStart(opts.Method.run, p1, starts, opts.Solver)
+	} else {
+		rep, err = opts.Method.run(p1, x1, opts.Solver)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: optimization 1 failed: %w", err)
+	}
+	out.Opt1Report = rep
+
+	// Guard against a merit-function compromise: if the optimizer ended
+	// slightly infeasible, fall back to the feasible point from phase 2.
+	if rep.Feasible(1e-6) {
+		out.Omega, out.ITEC = rep.X[0], rep.X[1]
+	} else {
+		out.Omega, out.ITEC = x1[0], x1[1]
+	}
+	if err := s.finish(out, opts); err != nil {
+		return nil, err
+	}
+	out.Runtime = time.Since(start)
+	return out, nil
+}
+
+// MinimizeMaxTemp solves Optimization 2 to completion (no early stop):
+// the minimum achievable peak temperature, Figure 6(c)/(d).
+func (s *System) MinimizeMaxTemp(opts Options) (*Outcome, error) {
+	opts.SkipOpt1 = true
+	// Force the full minimization: Run's early stop only arms when
+	// SkipOpt1 is false, so this solves Optimization 2 to convergence.
+	return s.Run(opts)
+}
+
+// finish evaluates the final operating point and fills the outcome.
+func (s *System) finish(out *Outcome, opts Options) error {
+	res, err := s.Evaluate(out.Omega, out.ITEC)
+	if err != nil {
+		return err
+	}
+	out.Result = res
+	out.Feasible = res.MeetsConstraint(opts.tMax(s.model.Config()))
+	if out.FailedAtOpt2 {
+		out.Feasible = false
+	}
+	if opts.VerifyExact {
+		exact, err := s.model.EvaluateExact(out.Omega, out.ITEC)
+		if err != nil {
+			return err
+		}
+		out.ExactResult = exact
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ParetoPoint is one point of the cooling-power / peak-temperature
+// trade-off curve: the minimum cooling power achievable under a given
+// thermal threshold.
+type ParetoPoint struct {
+	// TMax is the thermal threshold used for this point, kelvin.
+	TMax float64
+	// Feasible reports whether any operating point satisfies it.
+	Feasible bool
+	// Power is the minimized 𝒫 in watts (meaningless when infeasible).
+	Power float64
+	// MaxTemp is the achieved peak temperature in kelvin.
+	MaxTemp float64
+	// Omega and ITEC are the chosen operating point.
+	Omega, ITEC float64
+}
+
+// ParetoFront traces the trade-off Optimization 1 navigates (Section 6.2:
+// "OFTEC addresses the trade-off between the cooling power consumption
+// and the maximum chip temperature") by re-running Algorithm 1 under a
+// sweep of thermal thresholds. Thresholds are processed in descending
+// order; once a threshold is infeasible, every tighter one is marked
+// infeasible without further solves (monotonicity of the feasible set).
+func (s *System) ParetoFront(tmaxValues []float64, opts Options) ([]ParetoPoint, error) {
+	if len(tmaxValues) == 0 {
+		return nil, fmt.Errorf("core: Pareto sweep needs at least one threshold")
+	}
+	ambient := s.model.Config().Ambient
+	sorted := append([]float64(nil), tmaxValues...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+
+	out := make([]ParetoPoint, 0, len(sorted))
+	infeasibleBelow := false
+	for _, tmax := range sorted {
+		if tmax <= ambient {
+			return nil, fmt.Errorf("core: Pareto threshold %g K not above ambient %g K", tmax, ambient)
+		}
+		pt := ParetoPoint{TMax: tmax}
+		if !infeasibleBelow {
+			o := opts
+			o.TMax = tmax
+			res, err := s.Run(o)
+			if err != nil {
+				return nil, fmt.Errorf("core: Pareto threshold %g K: %w", tmax, err)
+			}
+			if res.Feasible {
+				pt.Feasible = true
+				pt.Power = res.CoolingPower()
+				pt.MaxTemp = res.Result.MaxChipTemp
+				pt.Omega, pt.ITEC = res.Omega, res.ITEC
+			} else {
+				infeasibleBelow = true
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

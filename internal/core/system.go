@@ -1,0 +1,190 @@
+// Package core implements OFTEC (Algorithm 1 of the paper): the joint
+// optimization of fan speed ω and TEC driving current I_TEC that minimizes
+// the cooling power 𝒫 = P_leakage + P_TEC + P_fan subject to the thermal
+// constraint (Optimization 1), bootstrapped by the maximum-temperature
+// minimization (Optimization 2) that supplies a feasible starting point.
+// The package also implements the paper's two baselines (variable-speed
+// fan without TECs, fixed-speed fan without TECs) and the TEC-only system
+// used to demonstrate thermal runaway.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"oftec/internal/solver"
+	"oftec/internal/thermal"
+)
+
+// Mode selects which actuators the controller may use. The paper's
+// fairness adjustment (baselines keep the TEC stack's conduction, with the
+// modules unpowered) makes every mode share one thermal network: a mode is
+// a restriction of the decision space, with I_TEC = 0 recovering pure
+// conduction through the TEC layer.
+type Mode int
+
+const (
+	// ModeHybrid optimizes both ω and I_TEC (OFTEC).
+	ModeHybrid Mode = iota
+	// ModeVariableFan optimizes ω with the TECs unpowered (baseline 1).
+	ModeVariableFan
+	// ModeFixedFan pins ω to FixedOmega with the TECs unpowered (baseline 2).
+	ModeFixedFan
+	// ModeTECOnly optimizes I_TEC with the fan off (the runaway demo).
+	ModeTECOnly
+)
+
+// String names the mode as the paper's figures label it.
+func (m Mode) String() string {
+	switch m {
+	case ModeHybrid:
+		return "OFTEC"
+	case ModeVariableFan:
+		return "Var. ω"
+	case ModeFixedFan:
+		return "Fixed ω"
+	case ModeTECOnly:
+		return "TEC only"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Method selects the nonlinear programming technique (Section 5.2).
+type Method int
+
+const (
+	// MethodSQP is the active-set SQP method the paper selected.
+	MethodSQP Method = iota
+	// MethodInteriorPoint is the log-barrier comparator.
+	MethodInteriorPoint
+	// MethodTrustRegion is the trust-region comparator.
+	MethodTrustRegion
+	// MethodNelderMead is a derivative-free comparator (not in the paper;
+	// used for verification).
+	MethodNelderMead
+	// MethodHookeJeeves is a derivative-free pattern-search comparator.
+	MethodHookeJeeves
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodSQP:
+		return "active-set SQP"
+	case MethodInteriorPoint:
+		return "interior point"
+	case MethodTrustRegion:
+		return "trust region"
+	case MethodNelderMead:
+		return "Nelder-Mead"
+	case MethodHookeJeeves:
+		return "Hooke-Jeeves"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+func (m Method) run(p *solver.Problem, x0 []float64, opts solver.Options) (solver.Report, error) {
+	switch m {
+	case MethodSQP:
+		return solver.ActiveSetSQP(p, x0, opts)
+	case MethodInteriorPoint:
+		return solver.InteriorPoint(p, x0, opts)
+	case MethodTrustRegion:
+		return solver.TrustRegion(p, x0, opts)
+	case MethodNelderMead:
+		return solver.NelderMead(p, x0, opts)
+	case MethodHookeJeeves:
+		return solver.HookeJeeves(p, x0, opts)
+	default:
+		return solver.Report{}, fmt.Errorf("core: unknown method %d", int(m))
+	}
+}
+
+// System couples a thermal model with the optimization machinery. The
+// embedded evaluation cache makes the objective and constraint share one
+// thermal solve per operating point; it is safe for concurrent use.
+type System struct {
+	model *thermal.Model
+
+	mu    sync.Mutex
+	cache map[opKey]*thermal.Result
+}
+
+type opKey struct{ omega, itec float64 }
+
+// NewSystem wraps a thermal model.
+func NewSystem(model *thermal.Model) *System {
+	return &System{model: model, cache: make(map[opKey]*thermal.Result)}
+}
+
+// Model returns the underlying thermal model.
+func (s *System) Model() *thermal.Model { return s.model }
+
+// Evaluate returns the (cached) steady state at an operating point, using
+// the linearized-leakage solve the optimizers work with.
+func (s *System) Evaluate(omega, itec float64) (*thermal.Result, error) {
+	key := opKey{quantize(omega), quantize(itec)}
+	s.mu.Lock()
+	if r, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	r, err := s.model.Evaluate(omega, itec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if len(s.cache) > 1<<14 {
+		s.cache = make(map[opKey]*thermal.Result)
+	}
+	s.cache[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// quantize rounds an operating coordinate so cache keys are insensitive to
+// last-bit noise from the line searches.
+func quantize(v float64) float64 { return math.Round(v*1e9) / 1e9 }
+
+// maxTemp is the 𝒯 objective; runaway maps to the Infeasible sentinel.
+func (s *System) maxTemp(omega, itec float64) float64 {
+	r, err := s.Evaluate(omega, itec)
+	if err != nil || r.Runaway {
+		return solver.Infeasible
+	}
+	return r.MaxChipTemp
+}
+
+// coolingPower is the 𝒫 objective.
+func (s *System) coolingPower(omega, itec float64) float64 {
+	r, err := s.Evaluate(omega, itec)
+	if err != nil || r.Runaway {
+		return solver.Infeasible
+	}
+	return r.CoolingPower()
+}
+
+// bounds returns the decision-variable box for a mode; x = (ω, I_TEC).
+func (s *System) bounds(mode Mode, fixedOmega float64) (lower, upper []float64, err error) {
+	cfg := s.model.Config()
+	switch mode {
+	case ModeHybrid:
+		return []float64{0, 0}, []float64{cfg.Fan.OmegaMax, cfg.TEC.MaxCurrent}, nil
+	case ModeVariableFan:
+		return []float64{0, 0}, []float64{cfg.Fan.OmegaMax, 0}, nil
+	case ModeFixedFan:
+		if fixedOmega < 0 || fixedOmega > cfg.Fan.OmegaMax {
+			return nil, nil, fmt.Errorf("core: fixed fan speed %g outside [0, %g]", fixedOmega, cfg.Fan.OmegaMax)
+		}
+		return []float64{fixedOmega, 0}, []float64{fixedOmega, 0}, nil
+	case ModeTECOnly:
+		return []float64{0, 0}, []float64{0, cfg.TEC.MaxCurrent}, nil
+	default:
+		return nil, nil, fmt.Errorf("core: unknown mode %d", int(mode))
+	}
+}

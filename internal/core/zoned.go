@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"oftec/internal/floorplan"
+	"oftec/internal/solver"
+	"oftec/internal/thermal"
+	"oftec/internal/units"
+)
+
+// ZonedOutcome reports a zoned-control run: one fan speed plus one TEC
+// current per zone.
+type ZonedOutcome struct {
+	Omega    float64
+	Currents []float64
+	Result   *thermal.Result
+	Feasible bool
+	Runtime  time.Duration
+	Report   solver.Report
+}
+
+// CoolingPower returns 𝒫 at the chosen operating point.
+func (o *ZonedOutcome) CoolingPower() float64 {
+	if o.Result == nil {
+		return 0
+	}
+	return o.Result.CoolingPower()
+}
+
+// String renders a one-line summary.
+func (o *ZonedOutcome) String() string {
+	status := "feasible"
+	if !o.Feasible {
+		status = "INFEASIBLE"
+	}
+	return fmt.Sprintf("zoned(%d): ω*=%.0f RPM I*=%v A, %s, %v",
+		len(o.Currents), units.RadPerSecToRPM(o.Omega), o.Currents, status,
+		o.Runtime.Round(time.Millisecond))
+}
+
+// zonedSystem caches zoned evaluations (one solve per operating vector).
+type zonedSystem struct {
+	model  *thermal.Model
+	zoning *thermal.Zoning
+
+	mu    sync.Mutex
+	cache map[string]*thermal.Result
+}
+
+func (zs *zonedSystem) evaluate(x []float64) (*thermal.Result, error) {
+	key := fmt.Sprintf("%.9g", x)
+	zs.mu.Lock()
+	if r, ok := zs.cache[key]; ok {
+		zs.mu.Unlock()
+		return r, nil
+	}
+	zs.mu.Unlock()
+	r, err := zs.model.EvaluateZoned(x[0], zs.zoning, x[1:])
+	if err != nil {
+		return nil, err
+	}
+	zs.mu.Lock()
+	if len(zs.cache) > 1<<14 {
+		zs.cache = make(map[string]*thermal.Result)
+	}
+	zs.cache[key] = r
+	zs.mu.Unlock()
+	return r, nil
+}
+
+// RunZoned executes Algorithm 1 with the decision vector (ω, I_1..I_k):
+// the feasibility phase minimizes the peak temperature, then the power
+// phase minimizes 𝒫 under the thermal constraint. It is the "deployment
+// and control" generalization: the single series string of the paper is
+// the k = 1 special case, so any zoned optimum is at least as good.
+func (s *System) RunZoned(zoning *thermal.Zoning, opts Options) (*ZonedOutcome, error) {
+	start := time.Now()
+	if zoning == nil {
+		return nil, fmt.Errorf("core: RunZoned needs a zoning")
+	}
+	cfg := s.model.Config()
+	k := zoning.NumZones()
+
+	zs := &zonedSystem{model: s.model, zoning: zoning, cache: make(map[string]*thermal.Result)}
+	tMaxSolve := opts.tMax(cfg) - opts.margin()
+
+	obj := func(f func(r *thermal.Result) float64) solver.Func {
+		return func(x []float64) float64 {
+			r, err := zs.evaluate(x)
+			if err != nil || r.Runaway {
+				return solver.Infeasible
+			}
+			return f(r)
+		}
+	}
+	tempObj := obj(func(r *thermal.Result) float64 { return r.MaxChipTemp })
+	powerObj := obj(func(r *thermal.Result) float64 { return r.CoolingPower() })
+	tempCons := func(x []float64) float64 { return tempObj(x) - tMaxSolve }
+
+	lower := make([]float64, 1+k)
+	upper := make([]float64, 1+k)
+	upper[0] = cfg.Fan.OmegaMax
+	for i := 1; i <= k; i++ {
+		upper[i] = cfg.TEC.MaxCurrent
+	}
+	x0 := make([]float64, 1+k)
+	for i := range x0 {
+		x0[i] = upper[i] / 2
+	}
+
+	out := &ZonedOutcome{}
+	// Feasibility phase.
+	x1 := x0
+	if t := tempObj(x0); t > tMaxSolve {
+		p2 := &solver.Problem{F: tempObj, Lower: lower, Upper: upper}
+		o2 := opts.Solver
+		prev := opts.Solver.StopWhen
+		o2.StopWhen = func(x []float64, f float64) bool {
+			if f < tMaxSolve {
+				return true
+			}
+			return prev != nil && prev(x, f)
+		}
+		rep, err := opts.Method.run(p2, x0, o2)
+		if err != nil {
+			return nil, fmt.Errorf("core: zoned optimization 2 failed: %w", err)
+		}
+		x1 = rep.X
+		if rep.F > tMaxSolve {
+			out.Omega = x1[0]
+			out.Currents = append([]float64(nil), x1[1:]...)
+			res, rerr := zs.evaluate(x1)
+			if rerr != nil {
+				return nil, rerr
+			}
+			out.Result = res
+			out.Runtime = time.Since(start)
+			return out, nil
+		}
+	}
+
+	// Power phase.
+	p1 := &solver.Problem{F: powerObj, Cons: []solver.Func{tempCons}, Lower: lower, Upper: upper}
+	rep, err := opts.Method.run(p1, x1, opts.Solver)
+	if err != nil {
+		return nil, fmt.Errorf("core: zoned optimization 1 failed: %w", err)
+	}
+	out.Report = rep
+	x := x1
+	if rep.Feasible(1e-6) {
+		x = rep.X
+	}
+	out.Omega = x[0]
+	out.Currents = append([]float64(nil), x[1:]...)
+	res, err := zs.evaluate(x)
+	if err != nil {
+		return nil, err
+	}
+	out.Result = res
+	out.Feasible = res.MeetsConstraint(opts.tMax(cfg))
+	out.Runtime = time.Since(start)
+	return out, nil
+}
+
+// ClusterZones returns the canonical 3-zone assignment for the EV6
+// floorplan: zone 0 the L2/cache periphery, zone 1 the floating-point
+// cluster, zone 2 the integer cluster (where the suite's hot spots live).
+func ClusterZones() (map[string]int, int) {
+	return map[string]int{
+		floorplan.UnitL2Left:  0,
+		floorplan.UnitL2:      0,
+		floorplan.UnitL2Right: 0,
+		floorplan.UnitIcache:  0,
+		floorplan.UnitITB:     0,
+		floorplan.UnitDTB:     0,
+		floorplan.UnitLdStQ:   2,
+		floorplan.UnitDcache:  0,
+		floorplan.UnitFPAdd:   1,
+		floorplan.UnitFPMul:   1,
+		floorplan.UnitFPReg:   1,
+		floorplan.UnitFPMap:   1,
+		floorplan.UnitFPQ:     1,
+		floorplan.UnitIntMap:  2,
+		floorplan.UnitIntQ:    2,
+		floorplan.UnitIntReg:  2,
+		floorplan.UnitIntExec: 2,
+		floorplan.UnitBpred:   2,
+	}, 3
+}

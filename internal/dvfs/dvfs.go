@@ -1,0 +1,154 @@
+// Package dvfs models dynamic voltage and frequency scaling, the
+// performance-degrading thermal-management fallback the paper contrasts
+// OFTEC against: infeasible benchmarks "should be further cooled down
+// using other thermal management techniques such as reducing the
+// voltage/frequency of the chip or throttling different functional units
+// which leads to performance degradation" (Section 6.2).
+//
+// The model is the standard alpha-power one: dynamic power scales as
+// f·V², voltage tracks frequency linearly between V_min and V_nom, and
+// throughput scales (optimistically for the baseline) linearly with
+// frequency. Given a thermal feasibility oracle, the package computes the
+// highest feasible frequency — and therefore the performance the fallback
+// gives up where OFTEC would not.
+package dvfs
+
+import (
+	"fmt"
+	"math"
+
+	"oftec/internal/power"
+)
+
+// OperatingPoint is one DVFS state.
+type OperatingPoint struct {
+	// FreqScale is the clock frequency relative to nominal, in (0, 1].
+	FreqScale float64
+	// VoltageScale is the supply voltage relative to nominal.
+	VoltageScale float64
+}
+
+// Model captures the voltage/frequency relationship of the part.
+type Model struct {
+	// VMinScale is the lowest usable voltage relative to nominal (the
+	// voltage floor below which the part no longer scales). Frequency at
+	// the floor is FMinScale.
+	VMinScale float64
+	// FMinScale is the lowest supported frequency scale, in (0, 1).
+	FMinScale float64
+}
+
+// Validate reports whether the model is usable.
+func (m Model) Validate() error {
+	if m.VMinScale <= 0 || m.VMinScale > 1 {
+		return fmt.Errorf("dvfs: voltage floor %g outside (0, 1]", m.VMinScale)
+	}
+	if m.FMinScale <= 0 || m.FMinScale >= 1 {
+		return fmt.Errorf("dvfs: frequency floor %g outside (0, 1)", m.FMinScale)
+	}
+	return nil
+}
+
+// Default returns a typical mobile/desktop DVFS range: down to 40 % clock
+// at 70 % of nominal voltage.
+func Default() Model {
+	return Model{VMinScale: 0.70, FMinScale: 0.40}
+}
+
+// At returns the operating point for a frequency scale, interpolating the
+// voltage linearly between (FMin, VMin) and (1, 1) — the usual published
+// V-f curves are close to linear over the DVFS range.
+func (m Model) At(freqScale float64) (OperatingPoint, error) {
+	if freqScale < m.FMinScale-1e-12 || freqScale > 1+1e-12 {
+		return OperatingPoint{}, fmt.Errorf("dvfs: frequency scale %g outside [%g, 1]", freqScale, m.FMinScale)
+	}
+	t := (freqScale - m.FMinScale) / (1 - m.FMinScale)
+	return OperatingPoint{
+		FreqScale:    freqScale,
+		VoltageScale: m.VMinScale + t*(1-m.VMinScale),
+	}, nil
+}
+
+// PowerScale returns the dynamic-power multiplier at an operating point:
+// P_dyn ∝ f·V².
+func (p OperatingPoint) PowerScale() float64 {
+	return p.FreqScale * p.VoltageScale * p.VoltageScale
+}
+
+// ThroughputScale returns the relative performance at the operating point
+// (linear in frequency — generous to the DVFS baseline, since real
+// workloads rarely scale perfectly).
+func (p OperatingPoint) ThroughputScale() float64 { return p.FreqScale }
+
+// ScaleMap applies the operating point's power multiplier to a per-unit
+// dynamic power map.
+func (p OperatingPoint) ScaleMap(m power.Map) power.Map {
+	return m.Scale(p.PowerScale())
+}
+
+// FeasibleFunc reports whether the chip is thermally manageable when the
+// dynamic power map is scaled by the given DVFS operating point.
+type FeasibleFunc func(OperatingPoint) (bool, error)
+
+// MaxFeasibleFrequency finds the highest frequency scale whose power is
+// thermally feasible, by bisection over [FMinScale, 1] to the given
+// resolution (e.g. 0.01 for 1 % frequency steps). It returns ok=false when
+// even the frequency floor is infeasible. Feasibility must be monotone in
+// frequency (more power is never easier to cool), which holds for the
+// thermal model in this repository.
+func (m Model) MaxFeasibleFrequency(feasible FeasibleFunc, resolution float64) (OperatingPoint, bool, error) {
+	if err := m.Validate(); err != nil {
+		return OperatingPoint{}, false, err
+	}
+	if resolution <= 0 || resolution >= 1 {
+		return OperatingPoint{}, false, fmt.Errorf("dvfs: resolution %g outside (0, 1)", resolution)
+	}
+
+	at := func(f float64) (OperatingPoint, bool, error) {
+		op, err := m.At(f)
+		if err != nil {
+			return OperatingPoint{}, false, err
+		}
+		ok, err := feasible(op)
+		return op, ok, err
+	}
+
+	// Fast path: full speed works.
+	top, ok, err := at(1)
+	if err != nil {
+		return OperatingPoint{}, false, err
+	}
+	if ok {
+		return top, true, nil
+	}
+	// Floor check.
+	bottom, ok, err := at(m.FMinScale)
+	if err != nil {
+		return OperatingPoint{}, false, err
+	}
+	if !ok {
+		return bottom, false, nil
+	}
+	// Bisect the feasibility boundary.
+	lo, hi := m.FMinScale, 1.0
+	for hi-lo > resolution {
+		mid := (lo + hi) / 2
+		_, ok, err := at(mid)
+		if err != nil {
+			return OperatingPoint{}, false, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	op, err := m.At(lo)
+	return op, true, err
+}
+
+// PerformanceLoss returns the throughput sacrificed at the operating
+// point, as a fraction in [0, 1).
+func (p OperatingPoint) PerformanceLoss() float64 {
+	return math.Max(0, 1-p.ThroughputScale())
+}

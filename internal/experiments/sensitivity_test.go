@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSeebeckSensitivityShape(t *testing.T) {
+	s := FastSetup()
+	rows, err := SeebeckSensitivity(s, "Quicksort", []float64{0, 0.5, 1, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// With no Peltier effect the hybrid system reduces to the fan-only
+	// baseline and must fail on the hot benchmark; at nominal quality it
+	// must succeed.
+	if rows[0].Feasible {
+		t.Errorf("α=0 should be infeasible on Quicksort (fan-only equivalent): %+v", rows[0])
+	}
+	if !rows[2].Feasible {
+		t.Errorf("nominal α should be feasible: %+v", rows[2])
+	}
+	// Better material must never hurt: among feasible rows, 𝒫 must be
+	// non-increasing in α (small solver slack allowed).
+	var prev *SensitivityRow
+	for i := range rows {
+		r := &rows[i]
+		if !r.Feasible {
+			continue
+		}
+		if prev != nil && r.PowerW > prev.PowerW+0.3 {
+			t.Errorf("𝒫 increased with better material: %.2f W at %.2fα after %.2f W at %.2fα",
+				r.PowerW, r.SeebeckScale, prev.PowerW, prev.SeebeckScale)
+		}
+		prev = r
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSensitivityTable(&buf, "Quicksort", rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "α scale") {
+		t.Error("table header missing")
+	}
+	if _, err := SeebeckSensitivity(s, "Quicksort", nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := SeebeckSensitivity(s, "Quicksort", []float64{-1}); err == nil {
+		t.Error("negative scale accepted")
+	}
+	if _, err := SeebeckSensitivity(s, "NoSuchBench", []float64{1}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestCoverageStudyShape(t *testing.T) {
+	s := FastSetup()
+	rows, err := CoverageStudy(s, "Quicksort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	full, paper, spot := rows[0], rows[1], rows[2]
+	if !(full.NumTEC > paper.NumTEC && paper.NumTEC > spot.NumTEC) {
+		t.Errorf("module counts not ordered: %d, %d, %d", full.NumTEC, paper.NumTEC, spot.NumTEC)
+	}
+	// Quicksort's heat concentrates in the integer cluster: every
+	// deployment that covers it must remain feasible.
+	for _, r := range rows {
+		if !r.Feasible {
+			t.Errorf("%s: infeasible", r.Name)
+		}
+	}
+	// The spot deployment spends no more TEC power than full coverage
+	// (refs [6][7]: excess modules waste power).
+	if spot.TECPowerW > full.TECPowerW+0.2 {
+		t.Errorf("spot deployment TEC power %.2f exceeds full coverage %.2f",
+			spot.TECPowerW, full.TECPowerW)
+	}
+	if _, err := CoverageStudy(s, "NoSuchBench"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

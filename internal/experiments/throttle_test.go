@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"oftec/internal/dvfs"
+)
+
+func TestThrottlingSeriesShape(t *testing.T) {
+	s := fastSubset(t, "Basicmath", "Quicksort")
+	rows, err := ThrottlingSeries(s, dvfs.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]ThrottleRow{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+		if !r.OFTECFeasible {
+			t.Errorf("%s: OFTEC must stay feasible at full clock", r.Benchmark)
+		}
+	}
+	mild := byName["Basicmath"]
+	if !mild.BaselineFeasible || mild.FreqScale < 1 || mild.PerformanceLoss != 0 {
+		t.Errorf("mild benchmark should need no throttling: %+v", mild)
+	}
+	hot := byName["Quicksort"]
+	if hot.BaselineFeasible {
+		t.Errorf("hot benchmark baseline should fail at full clock: %+v", hot)
+	}
+	if hot.FreqScale <= 0 || hot.FreqScale >= 1 {
+		t.Errorf("hot benchmark should be rescued by throttling to (0,1): %+v", hot)
+	}
+	if hot.PerformanceLoss <= 0.01 {
+		t.Errorf("throttling should cost real performance, got %.1f%%", hot.PerformanceLoss*100)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteThrottleTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Quicksort", "performance lost", "meets T_max", "fails"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestThrottlingSeriesValidation(t *testing.T) {
+	s := fastSubset(t, "CRC32")
+	if _, err := ThrottlingSeries(s, dvfs.Model{}); err == nil {
+		t.Error("invalid DVFS model accepted")
+	}
+}

@@ -1,0 +1,25 @@
+package fan_test
+
+import (
+	"fmt"
+
+	"oftec/internal/fan"
+	"oftec/internal/units"
+)
+
+// Example evaluates the two fan laws at the paper's reference speeds:
+// cubic power (Equation (8)) and logarithmic sink conductance
+// (Equation (9)).
+func Example() {
+	f := fan.PaperFan()
+	hs := fan.PaperModel()
+	for _, rpm := range []float64{1000, 2000, 5000} {
+		w := units.RPMToRadPerSec(rpm)
+		fmt.Printf("%4.0f RPM: P_fan = %6.3f W, g_HS&fan = %.3f W/K\n",
+			rpm, f.Power(w), hs.Conductance(w))
+	}
+	// Output:
+	// 1000 RPM: P_fan =  0.184 W, g_HS&fan = 4.262 W/K
+	// 2000 RPM: P_fan =  1.470 W, g_HS&fan = 4.934 W/K
+	// 5000 RPM: P_fan = 22.968 W, g_HS&fan = 5.823 W/K
+}

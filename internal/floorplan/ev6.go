@@ -1,0 +1,78 @@
+package floorplan
+
+// Alpha 21264 (EV6) functional-unit names used throughout the repository.
+// The geometry below follows the public HotSpot EV6 floorplan organization:
+// the L2 cache occupies the lower portion of the die, the L1 caches and
+// memory-pipeline queues sit in a middle band, and the integer/floating
+// point clusters occupy the top band. Dimensions are scaled so the die is
+// exactly 15.9 mm × 15.9 mm as in Table 1 of the paper.
+const (
+	UnitL2Left  = "L2_left"
+	UnitL2      = "L2"
+	UnitL2Right = "L2_right"
+	UnitIcache  = "Icache"
+	UnitITB     = "ITB"
+	UnitDTB     = "DTB"
+	UnitLdStQ   = "LdStQ"
+	UnitDcache  = "Dcache"
+	UnitFPAdd   = "FPAdd"
+	UnitFPMul   = "FPMul"
+	UnitFPReg   = "FPReg"
+	UnitFPMap   = "FPMap"
+	UnitFPQ     = "FPQ"
+	UnitIntMap  = "IntMap"
+	UnitIntQ    = "IntQ"
+	UnitIntReg  = "IntReg"
+	UnitIntExec = "IntExec"
+	UnitBpred   = "Bpred"
+)
+
+// EV6DieSize is the die edge length in meters (15.9 mm, Table 1).
+const EV6DieSize = 15.9e-3
+
+// CacheUnits lists the units left uncovered by TECs in the paper's
+// deployment (the L1 instruction and data caches show no hot spots).
+var CacheUnits = []string{UnitIcache, UnitDcache}
+
+// mm converts millimeters to meters for the literal geometry below.
+func mm(v float64) float64 { return v * 1e-3 }
+
+// AlphaEV6 returns the Alpha 21264 floorplan used by all experiments.
+// The plan tiles the die exactly: Validate(1e-9) passes.
+func AlphaEV6() *Floorplan {
+	f, err := New(EV6DieSize, EV6DieSize)
+	if err != nil {
+		panic(err) // unreachable: constants are positive
+	}
+	add := func(name string, x, y, w, h float64) {
+		if err := f.AddUnit(name, Rect{X: mm(x), Y: mm(y), W: mm(w), H: mm(h)}); err != nil {
+			panic("floorplan: invalid EV6 geometry: " + err.Error())
+		}
+	}
+
+	// Bottom band: L2 cache, y ∈ [0, 9.0) mm.
+	add(UnitL2Left, 0, 0, 3.0, 9.0)
+	add(UnitL2, 3.0, 0, 9.9, 9.0)
+	add(UnitL2Right, 12.9, 0, 3.0, 9.0)
+
+	// Middle band: L1 caches, TLBs, load/store queue, y ∈ [9.0, 12.0) mm.
+	add(UnitIcache, 0, 9.0, 5.3, 3.0)
+	add(UnitITB, 5.3, 9.0, 1.7, 3.0)
+	add(UnitDTB, 7.0, 9.0, 1.7, 3.0)
+	add(UnitLdStQ, 8.7, 9.0, 1.9, 3.0)
+	add(UnitDcache, 10.6, 9.0, 5.3, 3.0)
+
+	// Top band: FP and integer clusters, y ∈ [12.0, 15.9) mm.
+	add(UnitFPAdd, 0, 12.0, 2.0, 3.9)
+	add(UnitFPMul, 2.0, 12.0, 2.0, 3.9)
+	add(UnitFPReg, 4.0, 12.0, 1.6, 3.9)
+	add(UnitFPMap, 5.6, 12.0, 1.2, 3.9)
+	add(UnitFPQ, 6.8, 12.0, 1.0, 3.9)
+	add(UnitIntMap, 7.8, 12.0, 1.2, 3.9)
+	add(UnitIntQ, 9.0, 12.0, 1.4, 3.9)
+	add(UnitIntReg, 10.4, 12.0, 2.2, 3.9)
+	add(UnitIntExec, 12.6, 12.0, 2.1, 3.9)
+	add(UnitBpred, 14.7, 12.0, 1.2, 3.9)
+
+	return f
+}

@@ -1,0 +1,98 @@
+package floorplan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements reading and writing the HotSpot .flp floorplan
+// format, so floorplans can be exchanged with the HotSpot tool chain the
+// paper's thermal methodology derives from. Each non-comment line is
+//
+//	<unit-name> <width> <height> <left-x> <bottom-y>
+//
+// in meters, whitespace separated; lines starting with '#' and blank
+// lines are ignored.
+
+// ParseFLP reads a HotSpot-format floorplan. The die outline is the
+// bounding box of the units; Validate is NOT called automatically so
+// floorplans with deliberate gaps can still be loaded (call Validate to
+// enforce exact tiling).
+func ParseFLP(r io.Reader) (*Floorplan, error) {
+	scanner := bufio.NewScanner(r)
+	type row struct {
+		name       string
+		w, h, x, y float64
+		line       int
+	}
+	var rows []row
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("floorplan: line %d: want 5 fields (name w h x y), got %d", lineNo, len(fields))
+		}
+		vals := make([]float64, 4)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("floorplan: line %d: field %q: %v", lineNo, f, err)
+			}
+			vals[i] = v
+		}
+		rows = append(rows, row{name: fields[0], w: vals[0], h: vals[1], x: vals[2], y: vals[3], line: lineNo})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("floorplan: reading .flp: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("floorplan: .flp contains no units")
+	}
+
+	var maxX, maxY float64
+	for _, r := range rows {
+		if r.x < -1e-12 || r.y < -1e-12 {
+			return nil, fmt.Errorf("floorplan: line %d: unit %q has negative origin (%g, %g)", r.line, r.name, r.x, r.y)
+		}
+		if r.x+r.w > maxX {
+			maxX = r.x + r.w
+		}
+		if r.y+r.h > maxY {
+			maxY = r.y + r.h
+		}
+	}
+	f, err := New(maxX, maxY)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		if err := f.AddUnit(r.name, Rect{X: r.x, Y: r.y, W: r.w, H: r.h}); err != nil {
+			return nil, fmt.Errorf("floorplan: line %d: %w", r.line, err)
+		}
+	}
+	return f, nil
+}
+
+// WriteFLP writes the floorplan in HotSpot .flp format, preserving unit
+// insertion order.
+func WriteFLP(w io.Writer, f *Floorplan) error {
+	if _, err := fmt.Fprintf(w, "# Floorplan %gmm x %gmm, %d units\n# <unit-name>\t<width>\t<height>\t<left-x>\t<bottom-y>\n",
+		f.Width*1e3, f.Height*1e3, f.NumUnits()); err != nil {
+		return err
+	}
+	for _, u := range f.Units() {
+		if _, err := fmt.Fprintf(w, "%s\t%.6e\t%.6e\t%.6e\t%.6e\n",
+			u.Name, u.Rect.W, u.Rect.H, u.Rect.X, u.Rect.Y); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package floorplan
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseFLPBasic(t *testing.T) {
+	src := `
+# a two-unit plan
+left	0.002	0.004	0.000	0.000
+right	0.002	0.004	0.002	0.000
+`
+	f, err := ParseFLP(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumUnits() != 2 {
+		t.Fatalf("got %d units", f.NumUnits())
+	}
+	if math.Abs(f.Width-0.004) > 1e-15 || math.Abs(f.Height-0.004) > 1e-15 {
+		t.Errorf("die %g×%g, want 0.004×0.004", f.Width, f.Height)
+	}
+	if err := f.Validate(1e-9); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	u, ok := f.Unit("right")
+	if !ok || u.Rect.X != 0.002 {
+		t.Errorf("right unit = %+v, %v", u, ok)
+	}
+}
+
+func TestParseFLPErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ""},
+		{"comments only", "# nothing\n\n"},
+		{"too few fields", "a 1 2 3\n"},
+		{"too many fields", "a 1 2 3 4 5\n"},
+		{"bad number", "a 1 x 3 4\n"},
+		{"negative origin", "a 0.001 0.001 -0.5 0\n"},
+		{"zero size", "a 0 0.001 0 0\n"},
+		{"duplicate", "a 0.001 0.001 0 0\na 0.001 0.001 0.001 0\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseFLP(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: parse accepted", c.name)
+		}
+	}
+}
+
+func TestFLPRoundTripEV6(t *testing.T) {
+	orig := AlphaEV6()
+	var buf bytes.Buffer
+	if err := WriteFLP(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseFLP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NumUnits() != orig.NumUnits() {
+		t.Fatalf("unit count %d, want %d", parsed.NumUnits(), orig.NumUnits())
+	}
+	if math.Abs(parsed.Width-orig.Width) > 1e-9 {
+		t.Errorf("die width %g, want %g", parsed.Width, orig.Width)
+	}
+	for _, u := range orig.Units() {
+		p, ok := parsed.Unit(u.Name)
+		if !ok {
+			t.Fatalf("unit %s lost in round trip", u.Name)
+		}
+		for _, d := range []float64{
+			p.Rect.X - u.Rect.X, p.Rect.Y - u.Rect.Y,
+			p.Rect.W - u.Rect.W, p.Rect.H - u.Rect.H,
+		} {
+			if math.Abs(d) > 1e-9 {
+				t.Fatalf("unit %s geometry drifted by %g", u.Name, d)
+			}
+		}
+	}
+	if err := parsed.Validate(1e-6); err != nil {
+		t.Errorf("round-tripped EV6 invalid: %v", err)
+	}
+}
+
+func TestParseFLPAllowsGaps(t *testing.T) {
+	// Parsing must not force complete coverage (HotSpot floorplans may
+	// model only part of a die); Validate is the opt-in check.
+	src := "island\t0.001\t0.001\t0.004\t0.004\n"
+	f, err := ParseFLP(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(1e-9); err == nil {
+		t.Error("gappy floorplan should fail Validate")
+	}
+}

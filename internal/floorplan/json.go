@@ -1,0 +1,37 @@
+package floorplan
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// floorplanJSON is the serialized form of a Floorplan.
+type floorplanJSON struct {
+	Width  float64 `json:"width"`
+	Height float64 `json:"height"`
+	Units  []Unit  `json:"units"`
+}
+
+// MarshalJSON implements json.Marshaler, preserving unit order.
+func (f *Floorplan) MarshalJSON() ([]byte, error) {
+	return json.Marshal(floorplanJSON{Width: f.Width, Height: f.Height, Units: f.units})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, re-validating unit geometry.
+func (f *Floorplan) UnmarshalJSON(data []byte) error {
+	var raw floorplanJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("floorplan: %w", err)
+	}
+	fresh, err := New(raw.Width, raw.Height)
+	if err != nil {
+		return err
+	}
+	for _, u := range raw.Units {
+		if err := fresh.AddUnit(u.Name, u.Rect); err != nil {
+			return err
+		}
+	}
+	*f = *fresh
+	return nil
+}

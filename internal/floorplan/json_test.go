@@ -1,0 +1,53 @@
+package floorplan
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestFloorplanJSONRoundTrip(t *testing.T) {
+	orig := AlphaEV6()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed Floorplan
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NumUnits() != orig.NumUnits() {
+		t.Fatalf("unit count %d, want %d", parsed.NumUnits(), orig.NumUnits())
+	}
+	if parsed.Width != orig.Width || parsed.Height != orig.Height {
+		t.Errorf("die size drifted")
+	}
+	for i, u := range orig.Units() {
+		if parsed.Units()[i] != u {
+			t.Errorf("unit %d drifted: %+v vs %+v", i, parsed.Units()[i], u)
+		}
+	}
+	if err := parsed.Validate(1e-9); err != nil {
+		t.Errorf("round-tripped EV6 invalid: %v", err)
+	}
+	// Name lookups must work on the unmarshaled value (index rebuilt).
+	if _, ok := parsed.Unit(UnitIntExec); !ok {
+		t.Error("unit index not rebuilt after unmarshal")
+	}
+}
+
+func TestFloorplanJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"width": -1, "height": 1, "units": []}`,
+		`{"width": 1, "height": 1, "units": [{"Name": "", "Rect": {"X":0,"Y":0,"W":1,"H":1}}]}`,
+		`{"width": 1, "height": 1, "units": [
+			{"Name": "a", "Rect": {"X":0,"Y":0,"W":1,"H":1}},
+			{"Name": "a", "Rect": {"X":0,"Y":0,"W":1,"H":1}}]}`,
+		`not json`,
+	}
+	for i, c := range cases {
+		var f Floorplan
+		if err := json.Unmarshal([]byte(c), &f); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package floorplan
+
+import "testing"
+
+func TestQuadCoreGeometry(t *testing.T) {
+	f := QuadCore()
+	if err := f.Validate(1e-9); err != nil {
+		t.Fatalf("quad-core floorplan invalid: %v", err)
+	}
+	// 3 L3 pieces + 4 cores × 7 units.
+	if n := f.NumUnits(); n != 31 {
+		t.Errorf("unit count %d, want 31", n)
+	}
+	for i := 0; i < 4; i++ {
+		suffix := string(rune('0' + i))
+		for _, base := range []string{"L2", "Icache", "Dcache", "LdStQ", "FP", "IntReg", "IntExec"} {
+			if _, ok := f.Unit(base + suffix); !ok {
+				t.Errorf("missing unit %s%s", base, suffix)
+			}
+		}
+	}
+	// Core tiles must not overlap each other or the L3 cross (Validate
+	// covers overlap; also confirm IntExec0 sits in the lower-left tile).
+	u, _ := f.Unit("IntExec0")
+	if u.Rect.X > f.Width/2 || u.Rect.Y > f.Height/2 {
+		t.Errorf("IntExec0 not in the lower-left core: %+v", u.Rect)
+	}
+}

@@ -1,0 +1,259 @@
+// Package grid discretizes the layers of the cooling package assembly into
+// uniform rectangular cell grids and computes the thermal conductances of
+// the equivalent electrical circuit: six-resistor lateral/vertical elements
+// within a layer (Figure 3 of the paper) and overlap-weighted vertical
+// couplings between layers whose footprints differ (chip vs. spreader vs.
+// heat sink).
+//
+// Each layer owns a uniform Rows×Cols grid over its own rectangular
+// footprint, placed in a shared global coordinate system so that vertical
+// couplings between stacked layers can be computed from cell-rectangle
+// overlaps.
+package grid
+
+import (
+	"fmt"
+
+	"oftec/internal/floorplan"
+	"oftec/internal/material"
+)
+
+// Grid is a uniform discretization of one layer's footprint.
+type Grid struct {
+	// Name identifies the layer (e.g. "chip", "tim1", "spreader").
+	Name string
+	// Outline is the layer footprint in global coordinates (meters).
+	Outline floorplan.Rect
+	// Thickness is the layer thickness in meters.
+	Thickness float64
+	// Rows and Cols give the grid resolution.
+	Rows, Cols int
+
+	// baseK is the default conductivity; cellK overrides per cell when
+	// non-nil (used by the TEC layer, where covered cells are superlattice
+	// and uncovered cells are TIM filler).
+	baseK float64
+	cellK []float64
+
+	// volCap is the volumetric heat capacity (J/(m³·K)) for transients.
+	volCap float64
+}
+
+// New creates a grid for a layer with homogeneous material.
+func New(name string, outline floorplan.Rect, thickness float64, rows, cols int, mat material.Material) (*Grid, error) {
+	if err := mat.Validate(); err != nil {
+		return nil, fmt.Errorf("grid %q: %w", name, err)
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("grid %q: resolution %d×%d must be positive", name, rows, cols)
+	}
+	if thickness <= 0 {
+		return nil, fmt.Errorf("grid %q: thickness %g must be positive", name, thickness)
+	}
+	if outline.W <= 0 || outline.H <= 0 {
+		return nil, fmt.Errorf("grid %q: outline %+v must have positive area", name, outline)
+	}
+	return &Grid{
+		Name:      name,
+		Outline:   outline,
+		Thickness: thickness,
+		Rows:      rows,
+		Cols:      cols,
+		baseK:     mat.Conductivity,
+		volCap:    mat.VolumetricHeatCapacity,
+	}, nil
+}
+
+// NumCells returns Rows*Cols.
+func (g *Grid) NumCells() int { return g.Rows * g.Cols }
+
+// Dx returns the cell width (x extent) in meters.
+func (g *Grid) Dx() float64 { return g.Outline.W / float64(g.Cols) }
+
+// Dy returns the cell height (y extent) in meters.
+func (g *Grid) Dy() float64 { return g.Outline.H / float64(g.Rows) }
+
+// CellArea returns the footprint area of one cell in m².
+func (g *Grid) CellArea() float64 { return g.Dx() * g.Dy() }
+
+// CellVolume returns the volume of one cell in m³.
+func (g *Grid) CellVolume() float64 { return g.CellArea() * g.Thickness }
+
+// CellHeatCapacity returns the lumped heat capacity of one cell in J/K.
+func (g *Grid) CellHeatCapacity() float64 { return g.CellVolume() * g.volCap }
+
+// Index maps (row, col) to a linear cell index.
+func (g *Grid) Index(row, col int) int { return row*g.Cols + col }
+
+// RowCol maps a linear cell index back to (row, col).
+func (g *Grid) RowCol(idx int) (row, col int) { return idx / g.Cols, idx % g.Cols }
+
+// CellRect returns the global-coordinate rectangle of cell (row, col).
+func (g *Grid) CellRect(row, col int) floorplan.Rect {
+	dx, dy := g.Dx(), g.Dy()
+	return floorplan.Rect{
+		X: g.Outline.X + float64(col)*dx,
+		Y: g.Outline.Y + float64(row)*dy,
+		W: dx,
+		H: dy,
+	}
+}
+
+// CellCenter returns the global coordinates of the center of cell (row, col).
+func (g *Grid) CellCenter(row, col int) (x, y float64) {
+	r := g.CellRect(row, col)
+	return r.Center()
+}
+
+// ConductivityAt returns the thermal conductivity of cell idx.
+func (g *Grid) ConductivityAt(idx int) float64 {
+	if g.cellK != nil {
+		return g.cellK[idx]
+	}
+	return g.baseK
+}
+
+// SetCellConductivity overrides the conductivity of one cell; used to mix
+// TEC material and TIM filler within the TEC layer.
+func (g *Grid) SetCellConductivity(idx int, k float64) error {
+	if idx < 0 || idx >= g.NumCells() {
+		return fmt.Errorf("grid %q: cell index %d outside [0,%d)", g.Name, idx, g.NumCells())
+	}
+	if k <= 0 {
+		return fmt.Errorf("grid %q: conductivity %g must be positive", g.Name, k)
+	}
+	if g.cellK == nil {
+		g.cellK = make([]float64, g.NumCells())
+		for i := range g.cellK {
+			g.cellK[i] = g.baseK
+		}
+	}
+	g.cellK[idx] = k
+	return nil
+}
+
+// LateralCoupling is a conductance between two cells of the same layer.
+type LateralCoupling struct {
+	A, B int     // cell indices
+	G    float64 // conductance, W/K
+}
+
+// LateralCouplings enumerates the conductances between laterally adjacent
+// cells. For two adjacent cells the conductance is the series combination
+// of each cell's half-width resistance, which for homogeneous material
+// reduces to k·t·w/ℓ with w the shared face width and ℓ the center
+// distance.
+func (g *Grid) LateralCouplings() []LateralCoupling {
+	dx, dy, t := g.Dx(), g.Dy(), g.Thickness
+	out := make([]LateralCoupling, 0, 2*g.NumCells())
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			i := g.Index(r, c)
+			if c+1 < g.Cols {
+				j := g.Index(r, c+1)
+				out = append(out, LateralCoupling{A: i, B: j, G: seriesHalf(
+					g.ConductivityAt(i), g.ConductivityAt(j), t*dy, dx)})
+			}
+			if r+1 < g.Rows {
+				j := g.Index(r+1, c)
+				out = append(out, LateralCoupling{A: i, B: j, G: seriesHalf(
+					g.ConductivityAt(i), g.ConductivityAt(j), t*dx, dy)})
+			}
+		}
+	}
+	return out
+}
+
+// seriesHalf combines two half-cell conduction resistances in series:
+// each half has resistance (ℓ/2)/(k·A_face).
+func seriesHalf(k1, k2, faceArea, length float64) float64 {
+	r1 := (length / 2) / (k1 * faceArea)
+	r2 := (length / 2) / (k2 * faceArea)
+	return 1 / (r1 + r2)
+}
+
+// VerticalHalfConductance returns the conductance from the center of cell
+// idx to its top or bottom face: k·A/(t/2).
+func (g *Grid) VerticalHalfConductance(idx int) float64 {
+	return g.ConductivityAt(idx) * g.CellArea() / (g.Thickness / 2)
+}
+
+// VerticalCoupling is a conductance between a cell of a lower layer and a
+// cell of the upper layer stacked on it.
+type VerticalCoupling struct {
+	Lower, Upper int     // cell indices in their respective grids
+	G            float64 // conductance, W/K
+}
+
+// CoupleVertical computes the vertical conductances between two stacked
+// layers. For each pair of overlapping cells the conductance is the series
+// combination of the two half-thickness resistances, scaled by the overlap
+// area. Cells that do not overlap contribute nothing, which naturally
+// models a smaller layer sitting on a larger one (chip on spreader).
+func CoupleVertical(lower, upper *Grid) []VerticalCoupling {
+	var out []VerticalCoupling
+	for r := 0; r < lower.Rows; r++ {
+		for c := 0; c < lower.Cols; c++ {
+			li := lower.Index(r, c)
+			lr := lower.CellRect(r, c)
+			// Determine the range of upper cells that can overlap lr.
+			c0, c1 := overlapRange(lr.X, lr.X+lr.W, upper.Outline.X, upper.Dx(), upper.Cols)
+			r0, r1 := overlapRange(lr.Y, lr.Y+lr.H, upper.Outline.Y, upper.Dy(), upper.Rows)
+			kl := lower.ConductivityAt(li)
+			for ur := r0; ur < r1; ur++ {
+				for uc := c0; uc < c1; uc++ {
+					ui := upper.Index(ur, uc)
+					ov := lr.Overlap(upper.CellRect(ur, uc))
+					if ov <= 0 {
+						continue
+					}
+					ku := upper.ConductivityAt(ui)
+					rl := (lower.Thickness / 2) / (kl * ov)
+					ru := (upper.Thickness / 2) / (ku * ov)
+					out = append(out, VerticalCoupling{Lower: li, Upper: ui, G: 1 / (rl + ru)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// overlapRange returns the half-open index range [i0, i1) of grid cells
+// (origin at x0, pitch d, count n) that intersect the interval [a, b).
+func overlapRange(a, b, x0, d float64, n int) (int, int) {
+	i0 := int((a - x0) / d)
+	i1 := int((b-x0)/d) + 1
+	if i0 < 0 {
+		i0 = 0
+	}
+	if i1 > n {
+		i1 = n
+	}
+	if i0 > i1 {
+		return 0, 0
+	}
+	return i0, i1
+}
+
+// CellsIntersecting returns the linear indices of cells whose rectangles
+// intersect the given global-coordinate rectangle with positive area.
+func (g *Grid) CellsIntersecting(rect floorplan.Rect) []int {
+	c0, c1 := overlapRange(rect.X, rect.X+rect.W, g.Outline.X, g.Dx(), g.Cols)
+	r0, r1 := overlapRange(rect.Y, rect.Y+rect.H, g.Outline.Y, g.Dy(), g.Rows)
+	var out []int
+	for r := r0; r < r1; r++ {
+		for c := c0; c < c1; c++ {
+			if g.CellRect(r, c).Overlap(rect) > 0 {
+				out = append(out, g.Index(r, c))
+			}
+		}
+	}
+	return out
+}
+
+// OverlapFraction returns, for cell idx, the fraction of the cell's area
+// covered by rect.
+func (g *Grid) OverlapFraction(idx int, rect floorplan.Rect) float64 {
+	r, c := g.RowCol(idx)
+	return g.CellRect(r, c).Overlap(rect) / g.CellArea()
+}

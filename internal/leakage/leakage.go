@@ -1,0 +1,148 @@
+// Package leakage models temperature-dependent leakage power: the
+// physically-shaped exponential law used as ground truth (standing in for
+// McPAT, which the paper sampled), the first-order Taylor linearization of
+// Equation (4) used inside the linear thermal solve, and the
+// sampling-plus-linear-regression procedure of Section 6.1 that turns the
+// exponential model into Taylor coefficients (a, b).
+package leakage
+
+import (
+	"fmt"
+	"math"
+)
+
+// Exponential is the ground-truth leakage law P(T) = P0·exp(β·(T − T0)),
+// with T in kelvin. Subthreshold leakage grows roughly exponentially in
+// temperature; β around 0.01-0.04 1/K covers published 22 nm figures.
+type Exponential struct {
+	// P0 is the leakage power in watts at the reference temperature T0.
+	P0 float64
+	// Beta is the exponential slope in 1/K.
+	Beta float64
+	// T0 is the reference temperature in kelvin.
+	T0 float64
+}
+
+// Validate reports whether the model is physical.
+func (e Exponential) Validate() error {
+	switch {
+	case e.P0 < 0:
+		return fmt.Errorf("leakage: P0=%g must be non-negative", e.P0)
+	case e.Beta < 0:
+		return fmt.Errorf("leakage: beta=%g must be non-negative", e.Beta)
+	case e.T0 <= 0:
+		return fmt.Errorf("leakage: T0=%g must be a positive absolute temperature", e.T0)
+	}
+	return nil
+}
+
+// At returns the leakage power at temperature t (kelvin).
+func (e Exponential) At(t float64) float64 {
+	return e.P0 * math.Exp(e.Beta*(t-e.T0))
+}
+
+// Slope returns dP/dT at temperature t.
+func (e Exponential) Slope(t float64) float64 {
+	return e.Beta * e.At(t)
+}
+
+// Linearize returns the first-order Taylor expansion around tref:
+// p(T) ≈ a·(T − tref) + b with a = P'(tref), b = P(tref) (Equation (4)).
+func (e Exponential) Linearize(tref float64) Taylor {
+	return Taylor{A: e.Slope(tref), B: e.At(tref), Tref: tref}
+}
+
+// Taylor is the linear leakage estimate of Equation (4):
+// p_leakage(T) = A·(T − Tref) + B.
+type Taylor struct {
+	// A is the slope coefficient a in W/K.
+	A float64
+	// B is the value coefficient b in W.
+	B float64
+	// Tref is the expansion temperature in kelvin.
+	Tref float64
+}
+
+// At returns the linearized leakage power at temperature t.
+func (ta Taylor) At(t float64) float64 {
+	return ta.A*(t-ta.Tref) + ta.B
+}
+
+// Scale returns the Taylor model scaled by factor s; used to distribute a
+// unit-level model over grid cells proportionally to overlap area.
+func (ta Taylor) Scale(s float64) Taylor {
+	return Taylor{A: ta.A * s, B: ta.B * s, Tref: ta.Tref}
+}
+
+// Validate reports whether the coefficients are usable: a negative slope
+// would model leakage decreasing with temperature, which the solver treats
+// as a configuration error.
+func (ta Taylor) Validate() error {
+	if ta.A < 0 {
+		return fmt.Errorf("leakage: Taylor slope a=%g must be non-negative", ta.A)
+	}
+	if ta.B < 0 {
+		return fmt.Errorf("leakage: Taylor value b=%g must be non-negative", ta.B)
+	}
+	if ta.Tref <= 0 {
+		return fmt.Errorf("leakage: Tref=%g must be a positive absolute temperature", ta.Tref)
+	}
+	return nil
+}
+
+// Sample is one (temperature, leakage power) observation.
+type Sample struct {
+	T float64 // kelvin
+	P float64 // watts
+}
+
+// SampleRange evaluates the model at n evenly spaced temperatures in
+// [tLo, tHi], reproducing the paper's procedure of running McPAT at ten
+// temperatures between 300 K and 390 K.
+func (e Exponential) SampleRange(tLo, tHi float64, n int) ([]Sample, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("leakage: need n >= 2 samples, got %d", n)
+	}
+	if tHi <= tLo {
+		return nil, fmt.Errorf("leakage: invalid temperature range [%g, %g]", tLo, tHi)
+	}
+	out := make([]Sample, n)
+	for i := 0; i < n; i++ {
+		t := tLo + (tHi-tLo)*float64(i)/float64(n-1)
+		out[i] = Sample{T: t, P: e.At(t)}
+	}
+	return out, nil
+}
+
+// Regress fits p = a·(T − tref) + b to the samples by ordinary least
+// squares, the paper's method for obtaining the Taylor coefficients from
+// McPAT output. tref is the expansion point (the paper uses the average
+// chip or unit temperature).
+func Regress(samples []Sample, tref float64) (Taylor, error) {
+	if len(samples) < 2 {
+		return Taylor{}, fmt.Errorf("leakage: need at least 2 samples to regress, got %d", len(samples))
+	}
+	var sx, sy, sxx, sxy float64
+	for _, s := range samples {
+		x := s.T - tref
+		sx += x
+		sy += s.P
+		sxx += x * x
+		sxy += x * s.P
+	}
+	n := float64(len(samples))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Taylor{}, fmt.Errorf("leakage: samples have identical temperatures; slope is undetermined")
+	}
+	a := (n*sxy - sx*sy) / den
+	b := (sy - a*sx) / n
+	return Taylor{A: a, B: b, Tref: tref}, nil
+}
+
+// RunawayLoopGain returns the small-signal loop gain a·Rth of the
+// electrothermal feedback loop formed by leakage slope a (W/K) and thermal
+// resistance to ambient Rth (K/W). A loop gain of one or more means the
+// fixed-point iteration for the exact exponential model diverges — thermal
+// runaway.
+func RunawayLoopGain(a, rth float64) float64 { return a * rth }

@@ -1,0 +1,55 @@
+// Package material provides the thermal material library for the cooling
+// package assembly: silicon, thermal interface material, copper, FR4, and
+// thin-film superlattice thermoelectric material. Conductivities follow
+// Table 1 of the paper; volumetric heat capacities (used only by the
+// transient extension) follow HotSpot's defaults.
+package material
+
+import "fmt"
+
+// Material describes an isotropic thermal material.
+type Material struct {
+	Name string
+	// Conductivity is the thermal conductivity in W/(m·K).
+	Conductivity float64
+	// VolumetricHeatCapacity is ρ·c_p in J/(m³·K); used for transients.
+	VolumetricHeatCapacity float64
+}
+
+// Validate reports whether the material parameters are physical.
+func (m Material) Validate() error {
+	if m.Conductivity <= 0 {
+		return fmt.Errorf("material %q: conductivity %g must be positive", m.Name, m.Conductivity)
+	}
+	if m.VolumetricHeatCapacity <= 0 {
+		return fmt.Errorf("material %q: volumetric heat capacity %g must be positive", m.Name, m.VolumetricHeatCapacity)
+	}
+	return nil
+}
+
+// Library of materials used by the package assembly. Conductivities for
+// chip, TIM, spreader, and sink are exactly the Table 1 values.
+var (
+	// Silicon models the active die layer (Table 1: 100 W/(m·K)).
+	Silicon = Material{Name: "silicon", Conductivity: 100, VolumetricHeatCapacity: 1.75e6}
+
+	// TIM is thermal interface paste (Table 1: 1.75 W/(m·K)).
+	TIM = Material{Name: "tim", Conductivity: 1.75, VolumetricHeatCapacity: 4.0e6}
+
+	// Copper models the heat spreader and heat sink (Table 1: 400 W/(m·K)).
+	Copper = Material{Name: "copper", Conductivity: 400, VolumetricHeatCapacity: 3.55e6}
+
+	// FR4 models the PCB layer under the die.
+	FR4 = Material{Name: "fr4", Conductivity: 0.35, VolumetricHeatCapacity: 1.6e6}
+
+	// Superlattice models the Bi2Te3-based thin-film thermoelectric layer
+	// (refs [3][8]: superlattice coolers conduct far better vertically than
+	// thermal paste; 1.2 W/(m·K) is the in-plane figure, the effective
+	// through-plane stack conductivity is set by the TEC's K_TEC).
+	Superlattice = Material{Name: "superlattice", Conductivity: 1.2, VolumetricHeatCapacity: 1.2e6}
+)
+
+// All returns the built-in materials; useful for tests and config listings.
+func All() []Material {
+	return []Material{Silicon, TIM, Copper, FR4, Superlattice}
+}

@@ -1,0 +1,44 @@
+package material
+
+import "testing"
+
+func TestBuiltinsValid(t *testing.T) {
+	for _, m := range All() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("built-in material %s invalid: %v", m.Name, err)
+		}
+	}
+	if len(All()) < 5 {
+		t.Errorf("expected at least 5 built-in materials, got %d", len(All()))
+	}
+}
+
+func TestTable1Conductivities(t *testing.T) {
+	// Table 1 of the paper.
+	cases := []struct {
+		mat  Material
+		want float64
+	}{
+		{Silicon, 100},
+		{TIM, 1.75},
+		{Copper, 400},
+	}
+	for _, c := range cases {
+		if c.mat.Conductivity != c.want {
+			t.Errorf("%s conductivity = %g, want %g (Table 1)", c.mat.Name, c.mat.Conductivity, c.want)
+		}
+	}
+}
+
+func TestValidateRejectsNonPhysical(t *testing.T) {
+	bad := []Material{
+		{Name: "zero-k", Conductivity: 0, VolumetricHeatCapacity: 1},
+		{Name: "neg-k", Conductivity: -1, VolumetricHeatCapacity: 1},
+		{Name: "zero-c", Conductivity: 1, VolumetricHeatCapacity: 0},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("material %s accepted", m.Name)
+		}
+	}
+}

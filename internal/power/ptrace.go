@@ -1,0 +1,122 @@
+package power
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the HotSpot "ptrace" power-trace format: the first
+// non-comment line names the functional units, each following line gives
+// one sampling interval's power per unit (watts, whitespace separated).
+// Timestamps are implicit — the sampling interval is metadata supplied by
+// the caller — which is also how PTscalar-to-HotSpot flows exchange
+// traces.
+
+// ReadPtrace parses a HotSpot power trace, assigning sample k the
+// timestamp k·dt.
+func ReadPtrace(r io.Reader, dt float64) (*Trace, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("power: ptrace sampling interval %g must be positive", dt)
+	}
+	scanner := bufio.NewScanner(r)
+	var names []string
+	tr := &Trace{}
+	row := 0
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if names == nil {
+			names = fields
+			seen := make(map[string]bool, len(names))
+			for _, n := range names {
+				if seen[n] {
+					return nil, fmt.Errorf("power: ptrace header repeats unit %q", n)
+				}
+				seen[n] = true
+			}
+			continue
+		}
+		if len(fields) != len(names) {
+			return nil, fmt.Errorf("power: ptrace row %d has %d values, header has %d units",
+				row+1, len(fields), len(names))
+		}
+		m := make(Map, len(names))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("power: ptrace row %d, unit %s: %v", row+1, names[i], err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("power: ptrace row %d, unit %s: negative power %g", row+1, names[i], v)
+			}
+			m[names[i]] = v
+		}
+		if err := tr.Append(float64(row)*dt, m); err != nil {
+			return nil, err
+		}
+		row++
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("power: reading ptrace: %w", err)
+	}
+	if names == nil {
+		return nil, fmt.Errorf("power: ptrace has no header line")
+	}
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("power: ptrace has no samples")
+	}
+	return tr, nil
+}
+
+// WritePtrace emits the trace in HotSpot ptrace format with the given unit
+// column order. Timestamps are dropped (the format's interval is implicit);
+// every sample must cover every named unit.
+func WritePtrace(w io.Writer, tr *Trace, names []string) error {
+	if len(names) == 0 {
+		return fmt.Errorf("power: ptrace needs at least one unit column")
+	}
+	if tr.Len() == 0 {
+		return fmt.Errorf("power: refusing to write an empty ptrace")
+	}
+	bw := bufio.NewWriter(w)
+	for i, n := range names {
+		if i > 0 {
+			if _, err := bw.WriteString("\t"); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(n); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n"); err != nil {
+		return err
+	}
+	for k := 0; k < tr.Len(); k++ {
+		m := tr.maps[k]
+		for i, n := range names {
+			p, ok := m[n]
+			if !ok {
+				return fmt.Errorf("power: sample %d missing unit %q", k, n)
+			}
+			if i > 0 {
+				if _, err := bw.WriteString("\t"); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%.6g", p); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,108 @@
+package power
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReadPtraceBasic(t *testing.T) {
+	src := `
+# PTscalar output, 10 ms intervals
+alu	cache	fpu
+1.5	0.5	0.1
+2.0	0.6	0.2
+1.0	0.4	0.0
+`
+	tr, err := ReadPtrace(strings.NewReader(src), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("got %d samples", tr.Len())
+	}
+	m, err := tr.At(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["alu"] != 2.0 || m["cache"] != 0.6 || m["fpu"] != 0.2 {
+		t.Errorf("sample 1 = %v", m)
+	}
+	maxm := tr.MaxMap()
+	if maxm["alu"] != 2.0 || maxm["fpu"] != 0.2 {
+		t.Errorf("MaxMap = %v", maxm)
+	}
+	if d := tr.Duration(); math.Abs(d-0.02) > 1e-12 {
+		t.Errorf("Duration = %g, want 0.02", d)
+	}
+}
+
+func TestReadPtraceErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		dt        float64
+	}{
+		{"bad dt", "a\n1\n", 0},
+		{"empty", "", 0.01},
+		{"header only", "a b\n", 0.01},
+		{"ragged row", "a b\n1 2\n3\n", 0.01},
+		{"bad number", "a\nx\n", 0.01},
+		{"negative power", "a\n-1\n", 0.01},
+		{"duplicate unit", "a a\n1 2\n", 0.01},
+	}
+	for _, c := range cases {
+		if _, err := ReadPtrace(strings.NewReader(c.src), c.dt); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestPtraceRoundTrip(t *testing.T) {
+	var tr Trace
+	names := []string{"alu", "cache"}
+	for k := 0; k < 5; k++ {
+		m := Map{"alu": float64(k) * 1.25, "cache": 3 - float64(k)*0.5}
+		if err := tr.Append(float64(k)*0.01, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WritePtrace(&buf, &tr, names); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadPtrace(&buf, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Len() != tr.Len() {
+		t.Fatalf("length %d, want %d", parsed.Len(), tr.Len())
+	}
+	for k := 0; k < tr.Len(); k++ {
+		a, _ := tr.At(float64(k) * 0.01)
+		b, _ := parsed.At(float64(k) * 0.01)
+		for _, n := range names {
+			if math.Abs(a[n]-b[n]) > 1e-9 {
+				t.Errorf("sample %d unit %s drifted: %g vs %g", k, n, a[n], b[n])
+			}
+		}
+	}
+}
+
+func TestWritePtraceErrors(t *testing.T) {
+	var empty Trace
+	var buf bytes.Buffer
+	if err := WritePtrace(&buf, &empty, []string{"a"}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	var tr Trace
+	if err := tr.Append(0, Map{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePtrace(&buf, &tr, nil); err == nil {
+		t.Error("empty column list accepted")
+	}
+	if err := WritePtrace(&buf, &tr, []string{"a", "missing"}); err == nil {
+		t.Error("missing unit accepted")
+	}
+}

@@ -1,0 +1,191 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NelderMead minimizes the problem with the derivative-free downhill
+// simplex method, used in tests as an independent check on the
+// gradient-based solvers. Constraints enter through a quadratic penalty;
+// iterates are clamped to the box.
+func NelderMead(p *Problem, x0 []float64, opts Options) (Report, error) {
+	if err := p.Validate(); err != nil {
+		return Report{}, err
+	}
+	n := p.Dim()
+	evals := 0
+
+	const penWeight = 1e6
+	fpen := func(x []float64) float64 {
+		xc := append([]float64(nil), x...)
+		p.clampBox(xc)
+		f := p.eval(xc, &evals)
+		if f >= Infeasible {
+			return Infeasible
+		}
+		for i := range p.Cons {
+			if v := p.evalCons(i, xc, &evals); v > 0 {
+				f += penWeight * v * v
+			}
+		}
+		if f > Infeasible {
+			return Infeasible
+		}
+		return f
+	}
+
+	// Initial simplex: x0 plus per-coordinate nudges of 5% of the range.
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, n+1)
+	start := append([]float64(nil), x0...)
+	p.clampBox(start)
+	simplex[0] = vertex{x: start, f: fpen(start)}
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), start...)
+		step := 0.05 * (p.Upper[i] - p.Lower[i])
+		if x[i]+step > p.Upper[i] {
+			step = -step
+		}
+		x[i] += step
+		simplex[i+1] = vertex{x: x, f: fpen(x)}
+	}
+
+	order := func() {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	}
+	centroid := func() []float64 {
+		c := make([]float64, n)
+		for _, v := range simplex[:n] {
+			for i := range c {
+				c[i] += v.x[i] / float64(n)
+			}
+		}
+		return c
+	}
+	point := func(c, x []float64, coef float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = c[i] + coef*(c[i]-x[i])
+		}
+		p.clampBox(out)
+		return out
+	}
+
+	report := Report{}
+	maxIter := opts.maxIter() * 4
+	for iter := 1; iter <= maxIter; iter++ {
+		order()
+		report.Iterations = iter
+		best, worst := simplex[0], simplex[n]
+		report.X = best.x
+		report.F = best.f
+
+		if opts.StopWhen != nil && opts.StopWhen(best.x, best.f) {
+			report.EarlyStopped = true
+			break
+		}
+		// Convergence: simplex has collapsed.
+		var size float64
+		for i := 0; i < n; i++ {
+			size = math.Max(size, math.Abs(worst.x[i]-best.x[i])/(p.Upper[i]-p.Lower[i]+1e-30))
+		}
+		if size < opts.tol() && math.Abs(worst.f-best.f) < opts.tol()*(1+math.Abs(best.f)) {
+			report.Converged = true
+			break
+		}
+
+		c := centroid()
+		refl := point(c, worst.x, 1)
+		fr := fpen(refl)
+		switch {
+		case fr < best.f:
+			exp := point(c, worst.x, 2)
+			if fe := fpen(exp); fe < fr {
+				simplex[n] = vertex{exp, fe}
+			} else {
+				simplex[n] = vertex{refl, fr}
+			}
+		case fr < simplex[n-1].f:
+			simplex[n] = vertex{refl, fr}
+		default:
+			contr := point(c, worst.x, -0.5)
+			if fc := fpen(contr); fc < worst.f {
+				simplex[n] = vertex{contr, fc}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						simplex[i].x[j] = best.x[j] + 0.5*(simplex[i].x[j]-best.x[j])
+					}
+					simplex[i].f = fpen(simplex[i].x)
+				}
+			}
+		}
+	}
+	order()
+	report.X = simplex[0].x
+	report.F = p.eval(report.X, &evals)
+	report.MaxViolation = p.maxViolation(report.X, &evals)
+	report.FuncEvals = evals
+	return report, nil
+}
+
+// GridSearch scans a uniform grid with pts points per dimension and
+// returns the best feasible point (feasibility tolerance tol on the
+// constraints). It is exponential in the dimension and exists as the
+// ground-truth comparator for the two-variable OFTEC problems.
+func GridSearch(p *Problem, pts int, tol float64) (Report, error) {
+	if err := p.Validate(); err != nil {
+		return Report{}, err
+	}
+	if pts < 2 {
+		return Report{}, fmt.Errorf("solver: grid search needs at least 2 points per dimension, got %d", pts)
+	}
+	n := p.Dim()
+	evals := 0
+
+	best := Report{F: math.Inf(1), MaxViolation: math.Inf(1)}
+	idx := make([]int, n)
+	x := make([]float64, n)
+	for {
+		for i := 0; i < n; i++ {
+			x[i] = p.Lower[i] + (p.Upper[i]-p.Lower[i])*float64(idx[i])/float64(pts-1)
+		}
+		viol := p.maxViolation(x, &evals)
+		f := p.eval(x, &evals)
+		better := false
+		if viol <= tol && best.MaxViolation > tol {
+			better = true // first feasible beats any infeasible
+		} else if viol <= tol && best.MaxViolation <= tol {
+			better = f < best.F
+		} else if best.MaxViolation > tol {
+			better = viol < best.MaxViolation // least-infeasible fallback
+		}
+		if better {
+			best.F = f
+			best.MaxViolation = viol
+			best.X = append([]float64(nil), x...)
+		}
+		// Advance the odometer.
+		k := 0
+		for ; k < n; k++ {
+			idx[k]++
+			if idx[k] < pts {
+				break
+			}
+			idx[k] = 0
+		}
+		if k == n {
+			break
+		}
+	}
+	best.Converged = true
+	best.Iterations = 1
+	best.FuncEvals = evals
+	return best, nil
+}

@@ -1,0 +1,122 @@
+package solver
+
+import (
+	"math"
+)
+
+// HookeJeeves minimizes the problem with classic pattern search (Hooke &
+// Jeeves 1961): exploratory moves along each coordinate, followed by an
+// accelerating pattern move, halving the mesh on failure. Derivative-free
+// like Nelder-Mead but with deterministic axis-aligned probes, which suits
+// the box-dominated geometry of the OFTEC problems. Constraints enter
+// through a quadratic penalty.
+func HookeJeeves(p *Problem, x0 []float64, opts Options) (Report, error) {
+	if err := p.Validate(); err != nil {
+		return Report{}, err
+	}
+	n := p.Dim()
+	evals := 0
+
+	const penWeight = 1e6
+	fpen := func(x []float64) float64 {
+		xc := append([]float64(nil), x...)
+		p.clampBox(xc)
+		f := p.eval(xc, &evals)
+		if f >= Infeasible {
+			return Infeasible
+		}
+		for i := range p.Cons {
+			if v := p.evalCons(i, xc, &evals); v > 0 {
+				f += penWeight * v * v
+			}
+		}
+		if f > Infeasible {
+			return Infeasible
+		}
+		return f
+	}
+
+	// Mesh sizes start at 10 % of each variable's range.
+	step := make([]float64, n)
+	for i := range step {
+		step[i] = 0.1 * (p.Upper[i] - p.Lower[i])
+		if step[i] == 0 {
+			step[i] = 1e-12
+		}
+	}
+
+	clamp := func(x []float64) {
+		p.clampBox(x)
+	}
+
+	// explore probes ±step along each axis from base, greedily accepting
+	// improvements; it returns the improved point and value.
+	explore := func(base []float64, fbase float64) ([]float64, float64) {
+		x := append([]float64(nil), base...)
+		fx := fbase
+		for i := 0; i < n; i++ {
+			for _, dir := range []float64{1, -1} {
+				cand := append([]float64(nil), x...)
+				cand[i] += dir * step[i]
+				clamp(cand)
+				if fc := fpen(cand); fc < fx {
+					x, fx = cand, fc
+					break
+				}
+			}
+		}
+		return x, fx
+	}
+
+	base := append([]float64(nil), x0...)
+	clamp(base)
+	fbase := fpen(base)
+
+	report := Report{X: base, F: fbase}
+	tol := opts.tol()
+	maxIter := opts.maxIter() * 4
+	for iter := 1; iter <= maxIter; iter++ {
+		report.Iterations = iter
+		trial, ftrial := explore(base, fbase)
+		if ftrial < fbase {
+			// Pattern move: extrapolate along the improvement direction.
+			for {
+				pattern := make([]float64, n)
+				for i := range pattern {
+					pattern[i] = trial[i] + (trial[i] - base[i])
+				}
+				clamp(pattern)
+				base, fbase = trial, ftrial
+				p2, f2 := explore(pattern, fpen(pattern))
+				if f2 < fbase {
+					trial, ftrial = p2, f2
+					continue
+				}
+				break
+			}
+		} else {
+			// Shrink the mesh.
+			var maxStep float64
+			for i := range step {
+				step[i] /= 2
+				maxStep = math.Max(maxStep, step[i]/(p.Upper[i]-p.Lower[i]+1e-30))
+			}
+			if maxStep < tol {
+				report.Converged = true
+				break
+			}
+		}
+		report.X = base
+		report.F = fbase
+		if opts.StopWhen != nil && opts.StopWhen(base, fbase) {
+			report.EarlyStopped = true
+			break
+		}
+	}
+
+	report.X = base
+	report.F = p.eval(base, &evals)
+	report.MaxViolation = p.maxViolation(base, &evals)
+	report.FuncEvals = evals
+	return report, nil
+}

@@ -1,0 +1,187 @@
+package solver
+
+import (
+	"math"
+
+	"oftec/internal/sparse"
+)
+
+// InteriorPoint minimizes the problem with a primal log-barrier method,
+// one of the two techniques the paper compared the active-set SQP against.
+// The inequality constraints and box bounds enter through an extrapolated
+// logarithmic barrier (quadratic continuation outside the barrier domain,
+// so infeasible starting points are handled gracefully); the barrier
+// parameter is driven to zero over a fixed schedule, and each barrier
+// subproblem is minimized by a damped-BFGS quasi-Newton iteration with
+// backtracking line search.
+func InteriorPoint(p *Problem, x0 []float64, opts Options) (Report, error) {
+	if err := p.Validate(); err != nil {
+		return Report{}, err
+	}
+	n := p.Dim()
+	evals := 0
+
+	span := make([]float64, n)
+	for i := range span {
+		span[i] = p.Upper[i] - p.Lower[i]
+		if span[i] == 0 {
+			span[i] = 1
+		}
+	}
+	toX := func(z []float64) []float64 {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = p.Lower[i] + z[i]*span[i]
+		}
+		p.clampBox(x)
+		return x
+	}
+
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = math.Min(1, math.Max(0, (x0[i]-p.Lower[i])/span[i]))
+	}
+
+	// psi is the extrapolated log barrier: -mu*ln(-c) while c ≤ -mu,
+	// and the C¹ quadratic continuation beyond.
+	psi := func(c, mu float64) float64 {
+		if c <= -mu {
+			return -mu * math.Log(-c)
+		}
+		// Value and slope matched at c = -mu: value -mu*ln(mu), slope 1.
+		d := c + mu
+		return -mu*math.Log(mu) + d + d*d/(2*mu)
+	}
+
+	// Barrier objective in scaled space.
+	const edge = 1e-9
+	barrier := func(z []float64, mu float64) float64 {
+		x := toX(z)
+		*(&evals)++
+		f := p.F(x)
+		if math.IsNaN(f) || f >= Infeasible || math.IsInf(f, 1) {
+			return Infeasible
+		}
+		for i := range p.Cons {
+			evals++
+			f += psi(p.Cons[i](x), mu)
+		}
+		for i := 0; i < n; i++ {
+			f += psi(edge-z[i], mu) + psi(z[i]-1+edge, mu)
+		}
+		if math.IsNaN(f) || f > Infeasible {
+			return Infeasible
+		}
+		return f
+	}
+
+	grad := func(z []float64, mu float64, f0 float64) []float64 {
+		g := make([]float64, n)
+		h := opts.fdStep()
+		zp := make([]float64, n)
+		copy(zp, z)
+		for i := 0; i < n; i++ {
+			step := math.Max(h, 1e-9)
+			zp[i] = z[i] + step
+			fHi := barrier(zp, mu)
+			zp[i] = z[i] - step
+			fLo := barrier(zp, mu)
+			zp[i] = z[i]
+			switch {
+			case fHi < Infeasible && fLo < Infeasible:
+				g[i] = (fHi - fLo) / (2 * step)
+			case fHi < Infeasible:
+				g[i] = (fHi - f0) / step
+			case fLo < Infeasible:
+				g[i] = (f0 - fLo) / step
+			}
+		}
+		return g
+	}
+
+	report := Report{X: toX(z)}
+	tol := opts.tol()
+	totalIter := 0
+
+	mu := 1.0
+	for outer := 0; outer < 12 && mu > 1e-8; outer++ {
+		bmat := identity(n)
+		f := barrier(z, mu)
+		g := grad(z, mu, f)
+		for inner := 0; inner < opts.maxIter()/4+10; inner++ {
+			totalIter++
+			// Newton-like direction from the BFGS model.
+			lu, err := sparse.NewLU(bmat)
+			var d []float64
+			if err == nil {
+				rhs := make([]float64, n)
+				for i := range rhs {
+					rhs[i] = -g[i]
+				}
+				d, err = lu.Solve(rhs)
+			}
+			if err != nil || dot(d, g) >= 0 {
+				d = make([]float64, n)
+				for i := range d {
+					d[i] = -g[i]
+				}
+			}
+			// Backtracking.
+			alpha := 1.0
+			var zNew []float64
+			var fNew float64
+			for alpha >= 1e-10 {
+				cand := make([]float64, n)
+				for i := range cand {
+					cand[i] = math.Min(1, math.Max(0, z[i]+alpha*d[i]))
+				}
+				fNew = barrier(cand, mu)
+				if fNew < f-1e-6*alpha*math.Abs(dot(g, d)) || fNew < f {
+					zNew = cand
+					break
+				}
+				alpha /= 2
+			}
+			if zNew == nil {
+				break // stationary for this barrier parameter
+			}
+			gNew := grad(zNew, mu, fNew)
+			s := make([]float64, n)
+			y := make([]float64, n)
+			var stepInf float64
+			for i := 0; i < n; i++ {
+				s[i] = zNew[i] - z[i]
+				y[i] = gNew[i] - g[i]
+				stepInf = math.Max(stepInf, math.Abs(s[i]))
+			}
+			bfgsUpdate(bmat, s, y)
+			z, f, g = zNew, fNew, gNew
+
+			if opts.StopWhen != nil {
+				x := toX(z)
+				fv := p.eval(x, &evals)
+				if opts.StopWhen(x, fv) {
+					report.X = x
+					report.F = fv
+					report.EarlyStopped = true
+					report.Iterations = totalIter
+					report.MaxViolation = p.maxViolation(x, &evals)
+					report.FuncEvals = evals
+					return report, nil
+				}
+			}
+			if stepInf < tol {
+				break
+			}
+		}
+		mu /= 6
+	}
+
+	report.Iterations = totalIter
+	report.X = toX(z)
+	report.F = p.eval(report.X, &evals)
+	report.MaxViolation = p.maxViolation(report.X, &evals)
+	report.Converged = true
+	report.FuncEvals = evals
+	return report, nil
+}

@@ -1,0 +1,93 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// MultiStart runs a solver from several starting points and returns the
+// best feasible result (or the least-infeasible one when nothing is
+// feasible). The paper notes its objectives have "minor non-convexities";
+// a small multistart turns the local SQP into a practical global method
+// when extra robustness is wanted. FuncEvals and Iterations aggregate
+// across all starts.
+func MultiStart(run func(p *Problem, x0 []float64, opts Options) (Report, error),
+	p *Problem, starts [][]float64, opts Options) (Report, error) {
+	if err := p.Validate(); err != nil {
+		return Report{}, err
+	}
+	if len(starts) == 0 {
+		return Report{}, fmt.Errorf("solver: MultiStart needs at least one starting point")
+	}
+	n := p.Dim()
+	best := Report{F: math.Inf(1), MaxViolation: math.Inf(1)}
+	var totalEvals, totalIters int
+	feasTol := opts.tol()
+
+	for i, x0 := range starts {
+		if len(x0) != n {
+			return Report{}, fmt.Errorf("solver: start %d has dimension %d, want %d", i, len(x0), n)
+		}
+		rep, err := run(p, x0, opts)
+		if err != nil {
+			return Report{}, fmt.Errorf("solver: start %d: %w", i, err)
+		}
+		totalEvals += rep.FuncEvals
+		totalIters += rep.Iterations
+
+		better := false
+		switch {
+		case rep.Feasible(feasTol) && !best.Feasible(feasTol):
+			better = true
+		case rep.Feasible(feasTol) == best.Feasible(feasTol) && rep.Feasible(feasTol):
+			better = rep.F < best.F
+		case !best.Feasible(feasTol):
+			better = rep.MaxViolation < best.MaxViolation
+		}
+		if better {
+			best = rep
+		}
+		if rep.EarlyStopped {
+			best.EarlyStopped = true
+			break
+		}
+	}
+	best.FuncEvals = totalEvals
+	best.Iterations = totalIters
+	return best, nil
+}
+
+// CornerStarts returns the canonical multistart set for a box-bounded
+// problem: the center plus the 2ⁿ corners pulled slightly inward (so
+// finite-difference probes stay inside the box). It is exponential in the
+// dimension and intended for the small problems this repository solves.
+func CornerStarts(p *Problem, inset float64) ([][]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if inset < 0 || inset >= 0.5 {
+		return nil, fmt.Errorf("solver: corner inset %g outside [0, 0.5)", inset)
+	}
+	n := p.Dim()
+	if n > 8 {
+		return nil, fmt.Errorf("solver: CornerStarts limited to 8 dimensions, got %d", n)
+	}
+	center := make([]float64, n)
+	for i := 0; i < n; i++ {
+		center[i] = (p.Lower[i] + p.Upper[i]) / 2
+	}
+	starts := [][]float64{center}
+	for mask := 0; mask < 1<<n; mask++ {
+		x := make([]float64, n)
+		for i := 0; i < n; i++ {
+			span := p.Upper[i] - p.Lower[i]
+			if mask&(1<<i) != 0 {
+				x[i] = p.Upper[i] - inset*span
+			} else {
+				x[i] = p.Lower[i] + inset*span
+			}
+		}
+		starts = append(starts, x)
+	}
+	return starts, nil
+}

@@ -1,0 +1,122 @@
+package solver
+
+import "math"
+
+// gradient approximates ∇f at x with central differences, falling back to
+// one-sided differences at box edges or when a probe point evaluates to the
+// Infeasible sentinel (e.g. probing into a thermal-runaway region). The
+// step for variable i is h_i = fdStep·(Upper_i − Lower_i), floored at 1e-10.
+func (p *Problem) gradient(f Func, x []float64, fx float64, fdStep float64, evals *int) []float64 {
+	n := p.Dim()
+	g := make([]float64, n)
+	xp := make([]float64, n)
+	copy(xp, x)
+	for i := 0; i < n; i++ {
+		h := fdStep * (p.Upper[i] - p.Lower[i])
+		if h < 1e-10 {
+			h = 1e-10
+		}
+		hiOK := x[i]+h <= p.Upper[i]
+		loOK := x[i]-h >= p.Lower[i]
+
+		var fHi, fLo float64
+		fHi, fLo = math.NaN(), math.NaN()
+		if hiOK {
+			xp[i] = x[i] + h
+			fHi = p.wrap(f, xp, evals)
+		}
+		if loOK {
+			xp[i] = x[i] - h
+			fLo = p.wrap(f, xp, evals)
+		}
+		xp[i] = x[i]
+
+		usableHi := hiOK && fHi < Infeasible
+		usableLo := loOK && fLo < Infeasible
+		switch {
+		case usableHi && usableLo:
+			g[i] = (fHi - fLo) / (2 * h)
+		case usableHi:
+			g[i] = (fHi - fx) / h
+		case usableLo:
+			g[i] = (fx - fLo) / h
+		default:
+			// Both probes infeasible: the point sits in a sliver of
+			// feasibility. Signal steep ascent away from the nearer bound.
+			g[i] = 0
+		}
+	}
+	return g
+}
+
+// wrap evaluates an arbitrary Func with the Infeasible clamp.
+func (p *Problem) wrap(f Func, x []float64, evals *int) float64 {
+	*evals++
+	v := f(x)
+	if math.IsNaN(v) || v > Infeasible || math.IsInf(v, 1) {
+		return Infeasible
+	}
+	if math.IsInf(v, -1) {
+		return -Infeasible
+	}
+	return v
+}
+
+// bfgsUpdate applies the damped BFGS update (Powell 1978) to the Hessian
+// approximation B in place, keeping it positive definite:
+//
+//	s = xNew − xOld, y = ∇L(xNew) − ∇L(xOld)
+//
+// If sᵀy is too small relative to sᵀBs, y is blended with Bs.
+func bfgsUpdate(b [][]float64, s, y []float64) {
+	n := len(s)
+	bs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += b[i][j] * s[j]
+		}
+		bs[i] = sum
+	}
+	sBs := dot(s, bs)
+	sy := dot(s, y)
+	if sBs <= 0 {
+		return // degenerate; skip update
+	}
+	theta := 1.0
+	if sy < 0.2*sBs {
+		theta = 0.8 * sBs / (sBs - sy)
+	}
+	r := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r[i] = theta*y[i] + (1-theta)*bs[i]
+	}
+	sr := dot(s, r)
+	if sr <= 1e-14 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b[i][j] += r[i]*r[j]/sr - bs[i]*bs[j]/sBs
+		}
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm2(v []float64) float64 { return math.Sqrt(dot(v, v)) }
+
+func identity(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = 1
+	}
+	return m
+}

@@ -1,0 +1,180 @@
+// Package solver implements the constrained nonlinear programming methods
+// the paper evaluated for OFTEC: the active-set sequential quadratic
+// programming (SQP) method it selected, plus the interior-point and
+// trust-region techniques it compared against, and two derivative-free
+// comparators (Nelder-Mead and dense grid search) used by tests to verify
+// solution quality.
+//
+// Objectives are treated as black boxes evaluated numerically (the paper's
+// objective requires a thermal simulation per point), so all gradients are
+// finite-difference approximations. Problems are small (OFTEC has two
+// variables, ω and I_TEC), which the implementations exploit: the SQP
+// quadratic subproblems are solved exactly by enumerating active sets.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Infeasible is the objective/constraint value convention for operating
+// points where the simulation diverges (thermal runaway): evaluations
+// should return a large finite value rather than +Inf so finite-difference
+// gradients stay meaningful. Evaluators may also return +Inf; the solvers
+// clamp it to this value.
+const Infeasible = 1e12
+
+// Func evaluates a scalar function of the decision vector.
+type Func func(x []float64) float64
+
+// Problem is the CNLP
+//
+//	minimize    F(x)
+//	subject to  Cons_i(x) ≤ 0   for all i
+//	            Lower ≤ x ≤ Upper.
+type Problem struct {
+	// F is the objective.
+	F Func
+	// Cons are inequality constraints, satisfied when ≤ 0.
+	Cons []Func
+	// Lower and Upper are box bounds, required and finite.
+	Lower, Upper []float64
+}
+
+// Dim returns the number of decision variables.
+func (p *Problem) Dim() int { return len(p.Lower) }
+
+// Validate checks the problem structure.
+func (p *Problem) Validate() error {
+	if p.F == nil {
+		return errors.New("solver: problem has no objective")
+	}
+	n := len(p.Lower)
+	if n == 0 {
+		return errors.New("solver: problem has no variables")
+	}
+	if len(p.Upper) != n {
+		return fmt.Errorf("solver: bound lengths differ (%d vs %d)", n, len(p.Upper))
+	}
+	for i := 0; i < n; i++ {
+		if math.IsNaN(p.Lower[i]) || math.IsNaN(p.Upper[i]) ||
+			math.IsInf(p.Lower[i], 0) || math.IsInf(p.Upper[i], 0) {
+			return fmt.Errorf("solver: bounds for variable %d must be finite", i)
+		}
+		if p.Lower[i] > p.Upper[i] {
+			return fmt.Errorf("solver: variable %d has empty domain [%g, %g]", i, p.Lower[i], p.Upper[i])
+		}
+	}
+	return nil
+}
+
+// clampBox projects x into the box bounds in place.
+func (p *Problem) clampBox(x []float64) {
+	for i := range x {
+		if x[i] < p.Lower[i] {
+			x[i] = p.Lower[i]
+		}
+		if x[i] > p.Upper[i] {
+			x[i] = p.Upper[i]
+		}
+	}
+}
+
+// eval evaluates the objective with the +Inf clamp.
+func (p *Problem) eval(x []float64, evals *int) float64 {
+	*evals++
+	v := p.F(x)
+	if math.IsNaN(v) || v > Infeasible || math.IsInf(v, 1) {
+		return Infeasible
+	}
+	if math.IsInf(v, -1) {
+		return -Infeasible
+	}
+	return v
+}
+
+// evalCons evaluates constraint i with the same clamp.
+func (p *Problem) evalCons(i int, x []float64, evals *int) float64 {
+	*evals++
+	v := p.Cons[i](x)
+	if math.IsNaN(v) || v > Infeasible || math.IsInf(v, 1) {
+		return Infeasible
+	}
+	if math.IsInf(v, -1) {
+		return -Infeasible
+	}
+	return v
+}
+
+// maxViolation returns the largest positive constraint value at x (0 when
+// feasible).
+func (p *Problem) maxViolation(x []float64, evals *int) float64 {
+	var worst float64
+	for i := range p.Cons {
+		if v := p.evalCons(i, x, evals); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Options tunes the iterative solvers.
+type Options struct {
+	// MaxIter caps outer iterations; zero selects 200.
+	MaxIter int
+	// Tol is the convergence tolerance on step length and KKT residual;
+	// zero selects 1e-6 (in the scaled variable space).
+	Tol float64
+	// FDStep is the relative finite-difference step; zero selects 1e-5 of
+	// the variable range.
+	FDStep float64
+	// StopWhen, if non-nil, is checked after every accepted iterate; a
+	// true return stops the solver early with Converged=false and
+	// EarlyStopped=true. Algorithm 1 uses this to stop Optimization 2 as
+	// soon as 𝒯 < T_max.
+	StopWhen func(x []float64, f float64) bool
+}
+
+func (o Options) maxIter() int {
+	if o.MaxIter <= 0 {
+		return 200
+	}
+	return o.MaxIter
+}
+
+func (o Options) tol() float64 {
+	if o.Tol <= 0 {
+		return 1e-6
+	}
+	return o.Tol
+}
+
+func (o Options) fdStep() float64 {
+	if o.FDStep <= 0 {
+		return 1e-5
+	}
+	return o.FDStep
+}
+
+// Report describes the outcome of a solve.
+type Report struct {
+	// X is the best point found.
+	X []float64
+	// F is the objective at X.
+	F float64
+	// MaxViolation is the largest constraint violation at X (0 = feasible).
+	MaxViolation float64
+	// Iterations is the number of outer iterations performed.
+	Iterations int
+	// FuncEvals counts objective and constraint evaluations.
+	FuncEvals int
+	// Converged reports whether the method met its convergence test.
+	Converged bool
+	// EarlyStopped reports that Options.StopWhen fired.
+	EarlyStopped bool
+}
+
+// Feasible reports whether the final point satisfies all constraints to
+// within tol.
+func (r Report) Feasible(tol float64) bool { return r.MaxViolation <= tol }

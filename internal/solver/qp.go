@@ -1,0 +1,140 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"oftec/internal/sparse"
+)
+
+// qpProblem is the convex quadratic subproblem
+//
+//	minimize    ½ dᵀB d + gᵀd
+//	subject to  A[i]·d ≤ c[i]  for each row i,
+//
+// with B positive definite. The SQP outer loop builds one per iteration
+// from the BFGS Hessian, the objective gradient, and the linearized
+// constraints (including box bounds).
+type qpProblem struct {
+	b [][]float64 // n×n, positive definite
+	g []float64   // n
+	a [][]float64 // m×n constraint normals
+	c []float64   // m right-hand sides
+}
+
+// solve finds the exact minimizer by enumerating active sets, which is
+// practical and fully robust for the small dimensions OFTEC needs (n = 2,
+// m ≤ ~8). It returns the step d and the Lagrange multipliers per
+// constraint row (zero for inactive rows).
+func (q *qpProblem) solve() (d, lambda []float64, err error) {
+	n := len(q.g)
+	m := len(q.a)
+	if m > 16 {
+		return nil, nil, fmt.Errorf("solver: QP active-set enumeration limited to 16 constraints, got %d", m)
+	}
+
+	const feasTol = 1e-9
+	best := math.Inf(1)
+	var bestD, bestLam []float64
+
+	// Enumerate subsets of constraint rows with |S| ≤ n.
+	subset := make([]int, 0, n)
+	var recurse func(start int)
+	try := func() {
+		d, lam, ok := q.solveEquality(subset)
+		if !ok {
+			return
+		}
+		// Multipliers of active constraints must be non-negative.
+		for _, l := range lam {
+			if l < -1e-8 {
+				return
+			}
+		}
+		// All constraints must be satisfied.
+		for i := 0; i < m; i++ {
+			if dotRow(q.a[i], d) > q.c[i]+feasTol*(1+math.Abs(q.c[i])) {
+				return
+			}
+		}
+		obj := q.objective(d)
+		if obj < best-1e-12 {
+			best = obj
+			bestD = d
+			bestLam = make([]float64, m)
+			for k, row := range subset {
+				bestLam[row] = lam[k]
+			}
+		}
+	}
+	recurse = func(start int) {
+		try()
+		if len(subset) == n {
+			return
+		}
+		for i := start; i < m; i++ {
+			subset = append(subset, i)
+			recurse(i + 1)
+			subset = subset[:len(subset)-1]
+		}
+	}
+	recurse(0)
+
+	if bestD == nil {
+		return nil, nil, fmt.Errorf("solver: QP subproblem has no feasible active-set solution (inconsistent linearization)")
+	}
+	return bestD, bestLam, nil
+}
+
+// solveEquality solves the KKT system for the active set S:
+//
+//	[ B   A_Sᵀ ] [d]   [−g ]
+//	[ A_S  0   ] [λ] = [c_S]
+func (q *qpProblem) solveEquality(s []int) (d, lam []float64, ok bool) {
+	n := len(q.g)
+	k := len(s)
+	size := n + k
+	kkt := make([][]float64, size)
+	for i := range kkt {
+		kkt[i] = make([]float64, size)
+	}
+	rhs := make([]float64, size)
+	for i := 0; i < n; i++ {
+		copy(kkt[i][:n], q.b[i])
+		rhs[i] = -q.g[i]
+	}
+	for j, row := range s {
+		for i := 0; i < n; i++ {
+			kkt[i][n+j] = q.a[row][i]
+			kkt[n+j][i] = q.a[row][i]
+		}
+		rhs[n+j] = q.c[row]
+	}
+	f, err := sparse.NewLU(kkt)
+	if err != nil {
+		return nil, nil, false
+	}
+	sol, err := f.Solve(rhs)
+	if err != nil {
+		return nil, nil, false
+	}
+	for _, v := range sol {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, nil, false
+		}
+	}
+	return sol[:n], sol[n:], true
+}
+
+func (q *qpProblem) objective(d []float64) float64 {
+	n := len(d)
+	var quad float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			quad += d[i] * q.b[i][j] * d[j]
+		}
+	}
+	return 0.5*quad + dot(q.g, d)
+}
+
+func dotRow(row, d []float64) float64 { return dot(row, d) }

@@ -1,0 +1,146 @@
+package solver
+
+import (
+	"math"
+)
+
+// TrustRegion minimizes the problem with a trust-region method, the third
+// technique the paper experimented with. Inequality constraints are folded
+// into a smooth quadratic penalty (with an escalating weight), and each
+// step minimizes the BFGS quadratic model inside the intersection of an
+// ∞-norm trust region and the box bounds — a small QP solved exactly by
+// the same active-set enumeration the SQP uses. The trust radius adapts on
+// the usual predicted-vs-actual reduction ratio.
+func TrustRegion(p *Problem, x0 []float64, opts Options) (Report, error) {
+	if err := p.Validate(); err != nil {
+		return Report{}, err
+	}
+	n := p.Dim()
+	evals := 0
+
+	span := make([]float64, n)
+	for i := range span {
+		span[i] = p.Upper[i] - p.Lower[i]
+		if span[i] == 0 {
+			span[i] = 1
+		}
+	}
+	toX := func(z []float64) []float64 {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = p.Lower[i] + z[i]*span[i]
+		}
+		p.clampBox(x)
+		return x
+	}
+
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = math.Min(1, math.Max(0, (x0[i]-p.Lower[i])/span[i]))
+	}
+
+	penWeight := 1e3
+	penalized := func(z []float64) float64 {
+		x := toX(z)
+		f := p.eval(x, &evals)
+		if f >= Infeasible {
+			return Infeasible
+		}
+		for i := range p.Cons {
+			if v := p.evalCons(i, x, &evals); v > 0 {
+				f += penWeight * v * v
+			}
+		}
+		if f > Infeasible {
+			return Infeasible
+		}
+		return f
+	}
+	scaledPen := &Problem{F: penalized, Lower: make([]float64, n), Upper: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		scaledPen.Upper[i] = 1
+	}
+
+	f := penalized(z)
+	g := scaledPen.gradient(penalized, z, f, opts.fdStep(), &evals)
+	bmat := identity(n)
+	delta := 0.25
+	tol := opts.tol()
+
+	report := Report{X: toX(z), F: f}
+	for iter := 1; iter <= opts.maxIter(); iter++ {
+		report.Iterations = iter
+
+		// QP: min ½dᵀBd + gᵀd s.t. |d_i| ≤ Δ and box.
+		var rows [][]float64
+		var rhs []float64
+		for i := 0; i < n; i++ {
+			up := make([]float64, n)
+			up[i] = 1
+			rows = append(rows, up)
+			rhs = append(rhs, math.Min(delta, 1-z[i]))
+			lo := make([]float64, n)
+			lo[i] = -1
+			rows = append(rows, lo)
+			rhs = append(rhs, math.Min(delta, z[i]))
+		}
+		q := &qpProblem{b: bmat, g: g, a: rows, c: rhs}
+		d, _, err := q.solve()
+		if err != nil {
+			break
+		}
+		if norm2(d) < tol {
+			report.Converged = true
+			break
+		}
+		predicted := -(q.objective(d)) // model reduction
+		zNew := make([]float64, n)
+		for i := range zNew {
+			zNew[i] = math.Min(1, math.Max(0, z[i]+d[i]))
+		}
+		fNew := penalized(zNew)
+		actual := f - fNew
+
+		rho := 0.0
+		if predicted > 0 {
+			rho = actual / predicted
+		}
+		switch {
+		case rho < 0.25:
+			delta *= 0.5
+		case rho > 0.75:
+			delta = math.Min(2*delta, 1)
+		}
+		if rho > 1e-4 && fNew < f {
+			gNew := scaledPen.gradient(penalized, zNew, fNew, opts.fdStep(), &evals)
+			s := make([]float64, n)
+			y := make([]float64, n)
+			for i := 0; i < n; i++ {
+				s[i] = zNew[i] - z[i]
+				y[i] = gNew[i] - g[i]
+			}
+			bfgsUpdate(bmat, s, y)
+			z, f, g = zNew, fNew, gNew
+			report.X = toX(z)
+			report.F = p.eval(report.X, &evals)
+			if opts.StopWhen != nil && opts.StopWhen(report.X, report.F) {
+				report.EarlyStopped = true
+				break
+			}
+			// Escalate the penalty while the iterate stays infeasible.
+			if p.maxViolation(report.X, &evals) > opts.tol() {
+				penWeight = math.Min(penWeight*2, 1e9)
+				f = penalized(z)
+				g = scaledPen.gradient(penalized, z, f, opts.fdStep(), &evals)
+			}
+		}
+		if delta < tol/10 {
+			report.Converged = true
+			break
+		}
+	}
+
+	report.MaxViolation = p.maxViolation(report.X, &evals)
+	report.FuncEvals = evals
+	return report, nil
+}

@@ -1,0 +1,225 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildFromDense(t *testing.T, d [][]float64) *CSR {
+	t.Helper()
+	b := NewBuilder(len(d))
+	for i, row := range d {
+		for j, v := range row {
+			b.Add(i, j, v)
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return m
+}
+
+func TestBuilderMergesDuplicates(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(0, 1, 2.0)
+	b.Add(0, 1, 3.0)
+	b.Add(2, 2, -1.0)
+	b.AddDiag(2, 4.0)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := m.At(0, 1); got != 5.0 {
+		t.Errorf("At(0,1) = %g, want 5", got)
+	}
+	if got := m.At(2, 2); got != 3.0 {
+		t.Errorf("At(2,2) = %g, want 3", got)
+	}
+	if got := m.At(1, 1); got != 0 {
+		t.Errorf("At(1,1) = %g, want 0", got)
+	}
+	if m.NNZ() != 2 {
+		t.Errorf("NNZ = %d, want 2", m.NNZ())
+	}
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 5, 1.0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted out-of-range entry")
+	}
+	b2 := NewBuilder(2)
+	b2.Add(-1, 0, 1.0)
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("Build accepted negative row index")
+	}
+	if _, err := NewBuilder(0).Build(); err == nil {
+		t.Fatal("Build accepted zero dimension")
+	}
+}
+
+func TestBuilderDropsExplicitZeros(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 0)
+	b.Add(1, 1, 1)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if m.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want 1 (explicit zero should be dropped)", m.NNZ())
+	}
+}
+
+func TestMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(12)
+		d := make([][]float64, n)
+		for i := range d {
+			d[i] = make([]float64, n)
+			for j := range d[i] {
+				if rng.Float64() < 0.4 {
+					d[i][j] = rng.NormFloat64()
+				}
+			}
+		}
+		m := buildFromDense(t, d)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, n)
+		m.MulVec(got, x)
+		for i := 0; i < n; i++ {
+			var want float64
+			for j := 0; j < n; j++ {
+				want += d[i][j] * x[j]
+			}
+			if math.Abs(got[i]-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("trial %d: MulVec[%d] = %g, want %g", trial, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	sym := buildFromDense(t, [][]float64{{2, -1, 0}, {-1, 2, -1}, {0, -1, 2}})
+	if !sym.IsSymmetric(0) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	asym := buildFromDense(t, [][]float64{{2, -1}, {1, 2}})
+	if asym.IsSymmetric(1e-12) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	d := [][]float64{{1, 0, 2}, {0, 3, 0}, {4, 0, 5}}
+	m := buildFromDense(t, d)
+	got := m.Dense()
+	for i := range d {
+		for j := range d[i] {
+			if got[i][j] != d[i][j] {
+				t.Errorf("Dense[%d][%d] = %g, want %g", i, j, got[i][j], d[i][j])
+			}
+		}
+	}
+}
+
+// Property: for any assembled matrix, (A·x)ᵀy == xᵀ(Aᵀ·y) when A is
+// symmetric, i.e. Dot(Ax, y) == Dot(x, Ay).
+func TestSymmetricBilinearProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		b := NewBuilder(n)
+		for i := 0; i < n; i++ {
+			b.AddDiag(i, 4+rng.Float64())
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					v := rng.NormFloat64()
+					b.Add(i, j, v)
+					b.Add(j, i, v)
+				}
+			}
+		}
+		m, err := b.Build()
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i], y[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		ax := make([]float64, n)
+		ay := make([]float64, n)
+		m.MulVec(ax, x)
+		m.MulVec(ay, y)
+		return math.Abs(Dot(ax, y)-Dot(x, ay)) < 1e-9*(1+math.Abs(Dot(ax, y)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := []float64{1, 2, 3}
+	bv := []float64{4, -5, 6}
+	if got := Dot(a, bv); got != 4-10+18 {
+		t.Errorf("Dot = %g, want 12", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %g, want 5", got)
+	}
+	if got := NormInf(bv); got != 6 {
+		t.Errorf("NormInf = %g, want 6", got)
+	}
+	y := []float64{1, 1, 1}
+	AXPY(2, a, y)
+	if y[2] != 7 {
+		t.Errorf("AXPY: y[2] = %g, want 7", y[2])
+	}
+	Fill(y, 9)
+	if y[0] != 9 || y[2] != 9 {
+		t.Errorf("Fill: y = %v, want all 9", y)
+	}
+}
+
+func TestWithAddedDiagonal(t *testing.T) {
+	m := buildFromDense(t, [][]float64{{2, -1, 0}, {-1, 2, -1}, {0, -1, 2}})
+	d := []float64{10, 20, 30}
+	out, err := m.WithAddedDiagonal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if got := out.At(i, i); got != 2+d[i] {
+			t.Errorf("diag %d = %g, want %g", i, got, 2+d[i])
+		}
+	}
+	// Receiver unchanged, off-diagonals shared and intact.
+	if m.At(0, 0) != 2 || out.At(0, 1) != -1 {
+		t.Error("WithAddedDiagonal disturbed the original or the off-diagonals")
+	}
+	if _, err := m.WithAddedDiagonal([]float64{1}); err == nil {
+		t.Error("mismatched diagonal length accepted")
+	}
+	// A row without a stored diagonal must be rejected.
+	b := NewBuilder(2)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	b.AddDiag(1, 5)
+	noDiag, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noDiag.WithAddedDiagonal([]float64{1, 1}); err == nil {
+		t.Error("missing diagonal accepted")
+	}
+}

@@ -1,0 +1,261 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Preconditioner approximates the inverse of a matrix: Apply computes
+// dst ≈ A⁻¹·r. Implementations must tolerate dst and r being distinct
+// slices of equal length.
+type Preconditioner interface {
+	Apply(dst, r []float64)
+}
+
+// JacobiPreconditioner is diagonal scaling, the default inside CG and
+// BiCGSTAB.
+type JacobiPreconditioner struct {
+	invDiag []float64
+}
+
+// NewJacobiPreconditioner builds the diagonal preconditioner; it fails on
+// zero diagonal entries.
+func NewJacobiPreconditioner(a *CSR) (*JacobiPreconditioner, error) {
+	d := a.Diagonal()
+	for i, v := range d {
+		if v == 0 {
+			return nil, fmt.Errorf("sparse: zero diagonal at row %d", i)
+		}
+		d[i] = 1 / v
+	}
+	return &JacobiPreconditioner{invDiag: d}, nil
+}
+
+// Apply implements Preconditioner.
+func (p *JacobiPreconditioner) Apply(dst, r []float64) {
+	for i := range dst {
+		dst[i] = p.invDiag[i] * r[i]
+	}
+}
+
+// ICPreconditioner is a zero-fill incomplete Cholesky factorization
+// M = L·Lᵀ of a symmetric positive-definite matrix, with L restricted to
+// the sparsity pattern of the lower triangle of A. For the thermal
+// conduction matrices in this repository it cuts CG iteration counts by
+// several times compared to Jacobi scaling (see the preconditioner
+// ablation benchmark).
+type ICPreconditioner struct {
+	n int
+	// l is the factor in CSR layout (rows sorted by column, diagonal last).
+	lRowPtr []int32
+	lColIdx []int32
+	lValues []float64
+	// lt is Lᵀ in CSR layout, for the backward solve.
+	ltRowPtr []int32
+	ltColIdx []int32
+	ltValues []float64
+	work     []float64
+}
+
+// NewICPreconditioner computes the IC(0) factorization. It returns an
+// error when the matrix is structurally unsuitable (asymmetric pattern or
+// a non-positive pivot, which signals an indefinite matrix — callers then
+// fall back to Jacobi).
+func NewICPreconditioner(a *CSR) (*ICPreconditioner, error) {
+	n := a.N()
+	p := &ICPreconditioner{n: n, work: make([]float64, n)}
+
+	// Collect the lower-triangle pattern row by row (columns ascending,
+	// diagonal last in each row).
+	p.lRowPtr = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		lo, hi := int(a.rowPtr[i]), int(a.rowPtr[i+1])
+		cnt := 0
+		hasDiag := false
+		for k := lo; k < hi; k++ {
+			j := int(a.colIdx[k])
+			if j < i {
+				cnt++
+			} else if j == i {
+				hasDiag = true
+			}
+		}
+		if !hasDiag {
+			return nil, fmt.Errorf("sparse: IC(0) needs a structurally nonzero diagonal (row %d)", i)
+		}
+		p.lRowPtr[i+1] = p.lRowPtr[i] + int32(cnt+1)
+	}
+	nnz := int(p.lRowPtr[n])
+	p.lColIdx = make([]int32, nnz)
+	p.lValues = make([]float64, nnz)
+
+	// rowStart[i] tracks the fill position of row i.
+	pos := make([]int32, n)
+	copy(pos, p.lRowPtr[:n])
+	diagPos := make([]int32, n)
+	for i := 0; i < n; i++ {
+		lo, hi := int(a.rowPtr[i]), int(a.rowPtr[i+1])
+		for k := lo; k < hi; k++ {
+			j := int(a.colIdx[k])
+			if j < i {
+				p.lColIdx[pos[i]] = int32(j)
+				p.lValues[pos[i]] = a.values[k]
+				pos[i]++
+			}
+		}
+		// Diagonal last.
+		p.lColIdx[pos[i]] = int32(i)
+		p.lValues[pos[i]] = a.At(i, i)
+		diagPos[i] = pos[i]
+		pos[i]++
+	}
+
+	// Factorize in place. For entry (i, j), j < i:
+	//   L[i][j] = (A[i][j] − Σ_{k<j} L[i][k]·L[j][k]) / L[j][j]
+	// Diagonal:
+	//   L[i][i] = sqrt(A[i][i] − Σ_{k<i} L[i][k]²)
+	for i := 0; i < n; i++ {
+		rowLo, rowHi := int(p.lRowPtr[i]), int(p.lRowPtr[i+1])
+		for idx := rowLo; idx < rowHi-1; idx++ {
+			j := int(p.lColIdx[idx])
+			// Sparse dot of row i (up to column j) with row j (up to j).
+			sum := p.lValues[idx]
+			ai, aj := rowLo, int(p.lRowPtr[j])
+			aiEnd, ajEnd := idx, int(diagPos[j])
+			for ai < aiEnd && aj < ajEnd {
+				ci, cj := p.lColIdx[ai], p.lColIdx[aj]
+				switch {
+				case ci == cj:
+					sum -= p.lValues[ai] * p.lValues[aj]
+					ai++
+					aj++
+				case ci < cj:
+					ai++
+				default:
+					aj++
+				}
+			}
+			dj := p.lValues[diagPos[j]]
+			if dj == 0 {
+				return nil, fmt.Errorf("sparse: IC(0) zero pivot at row %d", j)
+			}
+			p.lValues[idx] = sum / dj
+		}
+		// Diagonal.
+		d := p.lValues[rowHi-1]
+		for idx := rowLo; idx < rowHi-1; idx++ {
+			d -= p.lValues[idx] * p.lValues[idx]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("sparse: IC(0) non-positive pivot %g at row %d (matrix not SPD enough)", d, i)
+		}
+		p.lValues[rowHi-1] = math.Sqrt(d)
+	}
+
+	p.buildTranspose()
+	return p, nil
+}
+
+// buildTranspose materializes Lᵀ in CSR form for the backward solve.
+func (p *ICPreconditioner) buildTranspose() {
+	n := p.n
+	nnz := len(p.lValues)
+	p.ltRowPtr = make([]int32, n+1)
+	for k := 0; k < nnz; k++ {
+		p.ltRowPtr[p.lColIdx[k]+1]++
+	}
+	for i := 0; i < n; i++ {
+		p.ltRowPtr[i+1] += p.ltRowPtr[i]
+	}
+	p.ltColIdx = make([]int32, nnz)
+	p.ltValues = make([]float64, nnz)
+	fill := make([]int32, n)
+	copy(fill, p.ltRowPtr[:n])
+	for i := 0; i < n; i++ {
+		for k := p.lRowPtr[i]; k < p.lRowPtr[i+1]; k++ {
+			j := p.lColIdx[k]
+			p.ltColIdx[fill[j]] = int32(i)
+			p.ltValues[fill[j]] = p.lValues[k]
+			fill[j]++
+		}
+	}
+}
+
+// Apply implements Preconditioner: dst = (L·Lᵀ)⁻¹ · r via one forward and
+// one backward triangular solve.
+func (p *ICPreconditioner) Apply(dst, r []float64) {
+	y := p.work
+	// Forward solve L·y = r (rows of L are sorted with the diagonal last).
+	for i := 0; i < p.n; i++ {
+		s := r[i]
+		lo, hi := int(p.lRowPtr[i]), int(p.lRowPtr[i+1])
+		for k := lo; k < hi-1; k++ {
+			s -= p.lValues[k] * y[p.lColIdx[k]]
+		}
+		y[i] = s / p.lValues[hi-1]
+	}
+	// Backward solve Lᵀ·dst = y. Row i of Lᵀ holds columns ≥ i; its first
+	// entry is the diagonal.
+	for i := p.n - 1; i >= 0; i-- {
+		s := y[i]
+		lo, hi := int(p.ltRowPtr[i]), int(p.ltRowPtr[i+1])
+		for k := lo + 1; k < hi; k++ {
+			s -= p.ltValues[k] * dst[p.ltColIdx[k]]
+		}
+		dst[i] = s / p.ltValues[lo]
+	}
+}
+
+// CGPrecond solves A·x = b with the conjugate gradient method under an
+// arbitrary symmetric preconditioner.
+func CGPrecond(a *CSR, b []float64, m Preconditioner, opts SolveOptions) ([]float64, Stats, error) {
+	n := a.N()
+	if len(b) != n {
+		return nil, Stats{}, fmt.Errorf("sparse: rhs length %d does not match matrix dimension %d", len(b), n)
+	}
+	if m == nil {
+		return nil, Stats{}, fmt.Errorf("sparse: CGPrecond requires a preconditioner")
+	}
+	x := make([]float64, n)
+	if opts.X0 != nil {
+		copy(x, opts.X0)
+	}
+	r := make([]float64, n)
+	a.Residual(r, x, b)
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		return x, Stats{}, nil
+	}
+	tol := opts.tol()
+
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	m.Apply(z, r)
+	copy(p, z)
+	rz := Dot(r, z)
+
+	maxIter := opts.maxIter(n)
+	for it := 1; it <= maxIter; it++ {
+		a.MulVec(ap, p)
+		pap := Dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			return nil, Stats{Iterations: it}, fmt.Errorf("%w: CG breakdown (pᵀAp=%g)", ErrNoConvergence, pap)
+		}
+		alpha := rz / pap
+		AXPY(alpha, p, x)
+		AXPY(-alpha, ap, r)
+		res := Norm2(r) / bnorm
+		if res <= tol {
+			return x, Stats{Iterations: it, Residual: res}, nil
+		}
+		m.Apply(z, r)
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return x, Stats{Iterations: maxIter, Residual: Norm2(r) / bnorm}, ErrNoConvergence
+}

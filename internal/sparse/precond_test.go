@@ -1,0 +1,248 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// laplacian2D builds the 5-point SPD stencil on an n×n grid — the shape of
+// one thermal layer's conduction matrix.
+func laplacian2D(n int, g float64) *CSR {
+	b := NewBuilder(n * n)
+	idx := func(r, c int) int { return r*n + c }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			i := idx(r, c)
+			b.AddDiag(i, g) // ambient coupling keeps it nonsingular
+			if c+1 < n {
+				j := idx(r, c+1)
+				b.AddDiag(i, g)
+				b.AddDiag(j, g)
+				b.Add(i, j, -g)
+				b.Add(j, i, -g)
+			}
+			if r+1 < n {
+				j := idx(r+1, c)
+				b.AddDiag(i, g)
+				b.AddDiag(j, g)
+				b.Add(i, j, -g)
+				b.Add(j, i, -g)
+			}
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestJacobiPreconditioner(t *testing.T) {
+	a := laplacian1D(10, 2)
+	p, err := NewJacobiPreconditioner(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, 10)
+	dst := make([]float64, 10)
+	for i := range r {
+		r[i] = float64(i + 1)
+	}
+	p.Apply(dst, r)
+	for i := range dst {
+		want := r[i] / a.At(i, i)
+		if math.Abs(dst[i]-want) > 1e-14 {
+			t.Errorf("dst[%d] = %g, want %g", i, dst[i], want)
+		}
+	}
+	// Zero diagonal must be rejected.
+	b := NewBuilder(2)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	bad, _ := b.Build()
+	if _, err := NewJacobiPreconditioner(bad); err == nil {
+		t.Error("zero diagonal accepted")
+	}
+}
+
+func TestICFactorizationExactOnTridiagonal(t *testing.T) {
+	// IC(0) on a tridiagonal SPD matrix has no fill-in, so L·Lᵀ must
+	// reproduce A exactly; the preconditioner is then an exact solver.
+	a := laplacian1D(40, 3.0)
+	ic, err := NewICPreconditioner(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, a.N())
+	for i := range r {
+		r[i] = math.Sin(float64(i) * 0.7)
+	}
+	x := make([]float64, a.N())
+	ic.Apply(x, r)
+	// A·x must equal r.
+	ax := make([]float64, a.N())
+	a.MulVec(ax, x)
+	for i := range ax {
+		if math.Abs(ax[i]-r[i]) > 1e-9 {
+			t.Fatalf("IC apply not exact on tridiagonal: row %d: %g vs %g", i, ax[i], r[i])
+		}
+	}
+}
+
+func TestICPCGOn2DLaplacian(t *testing.T) {
+	a := laplacian2D(20, 1.7)
+	b := make([]float64, a.N())
+	for i := range b {
+		b[i] = float64(i%11) - 5
+	}
+	ic, err := NewICPreconditioner(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, stIC, err := CGPrecond(a, b, ic, SolveOptions{})
+	if err != nil {
+		t.Fatalf("IC-PCG: %v", err)
+	}
+	checkSolution(t, "IC-PCG", a, x, b, 1e-8)
+
+	_, stJac, err := CG(a, b, SolveOptions{})
+	if err != nil {
+		t.Fatalf("Jacobi CG: %v", err)
+	}
+	if stIC.Iterations >= stJac.Iterations {
+		t.Errorf("IC-PCG took %d iterations, Jacobi CG %d; IC should be faster",
+			stIC.Iterations, stJac.Iterations)
+	}
+}
+
+func TestICRejectsIndefinite(t *testing.T) {
+	// A matrix with a strongly negative diagonal entry is not SPD; IC(0)
+	// must report a non-positive pivot rather than produce NaNs.
+	b := NewBuilder(3)
+	b.AddDiag(0, 4)
+	b.AddDiag(1, -5)
+	b.AddDiag(2, 4)
+	b.Add(0, 1, -1)
+	b.Add(1, 0, -1)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewICPreconditioner(a); err == nil {
+		t.Error("indefinite matrix accepted by IC(0)")
+	}
+}
+
+func TestICRejectsMissingDiagonal(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 2)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewICPreconditioner(a); err == nil {
+		t.Error("missing diagonal accepted")
+	}
+}
+
+func TestCGPrecondValidation(t *testing.T) {
+	a := laplacian1D(4, 1)
+	if _, _, err := CGPrecond(a, make([]float64, 3), nil, SolveOptions{}); err == nil {
+		t.Error("nil preconditioner / bad rhs accepted")
+	}
+	jac, err := NewJacobiPreconditioner(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := CGPrecond(a, make([]float64, 3), jac, SolveOptions{}); err == nil {
+		t.Error("mismatched rhs accepted")
+	}
+	// Zero rhs short-circuits.
+	x, st, err := CGPrecond(a, make([]float64, 4), jac, SolveOptions{})
+	if err != nil || NormInf(x) != 0 || st.Iterations != 0 {
+		t.Errorf("zero rhs: x=%v st=%+v err=%v", x, st, err)
+	}
+}
+
+// Property: IC-PCG solves random SPD diagonally-dominant systems to the
+// requested tolerance.
+func TestICPCGProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		b := NewBuilder(n)
+		for i := 0; i < n; i++ {
+			b.AddDiag(i, 1)
+		}
+		for k := 0; k < 2*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			v := -rng.Float64()
+			b.Add(i, j, v)
+			b.Add(j, i, v)
+			b.AddDiag(i, -v+0.1)
+			b.AddDiag(j, -v+0.1)
+		}
+		a, err := b.Build()
+		if err != nil {
+			return false
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		ic, err := NewICPreconditioner(a)
+		if err != nil {
+			return false
+		}
+		x, _, err := CGPrecond(a, rhs, ic, SolveOptions{Tol: 1e-11})
+		if err != nil {
+			return false
+		}
+		r := make([]float64, n)
+		return a.Residual(r, x, rhs) < 1e-6*(1+NormInf(rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPreconditionerAblation(b *testing.B) {
+	a := laplacian2D(40, 2.2)
+	rhs := make([]float64, a.N())
+	for i := range rhs {
+		rhs[i] = float64(i%13) - 6
+	}
+	b.Run("jacobi-cg", func(b *testing.B) {
+		var iters int
+		for i := 0; i < b.N; i++ {
+			_, st, err := CG(a, rhs, SolveOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters = st.Iterations
+		}
+		b.ReportMetric(float64(iters), "iters")
+	})
+	b.Run("ic0-cg", func(b *testing.B) {
+		var iters int
+		for i := 0; i < b.N; i++ {
+			ic, err := NewICPreconditioner(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, st, err := CGPrecond(a, rhs, ic, SolveOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters = st.Iterations
+		}
+		b.ReportMetric(float64(iters), "iters")
+	})
+}

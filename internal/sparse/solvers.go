@@ -1,0 +1,398 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is returned when an iterative solver exhausts its
+// iteration budget without reaching the requested tolerance.
+var ErrNoConvergence = errors.New("sparse: iterative solver did not converge")
+
+// ErrSingular is returned when a direct factorization encounters a pivot
+// that is numerically zero.
+var ErrSingular = errors.New("sparse: matrix is singular to working precision")
+
+// SolveOptions configures the iterative solvers.
+type SolveOptions struct {
+	// Tol is the relative residual tolerance ‖b−Ax‖₂ ≤ Tol·‖b‖₂.
+	// Zero selects the default 1e-10.
+	Tol float64
+	// MaxIter caps the number of iterations. Zero selects 4·n.
+	MaxIter int
+	// X0 is an optional warm-start; nil starts from zero.
+	X0 []float64
+}
+
+func (o SolveOptions) tol() float64 {
+	if o.Tol <= 0 {
+		return 1e-10
+	}
+	return o.Tol
+}
+
+func (o SolveOptions) maxIter(n int) int {
+	if o.MaxIter <= 0 {
+		return 4 * n
+	}
+	return o.MaxIter
+}
+
+// Stats reports how a solve went.
+type Stats struct {
+	Iterations int
+	Residual   float64 // final relative residual
+}
+
+// CG solves A·x = b with the Jacobi-preconditioned conjugate gradient
+// method. A must be symmetric; positive definiteness is required for
+// guaranteed convergence. The result is written into a new slice.
+func CG(a *CSR, b []float64, opts SolveOptions) ([]float64, Stats, error) {
+	n := a.N()
+	if len(b) != n {
+		return nil, Stats{}, fmt.Errorf("sparse: rhs length %d does not match matrix dimension %d", len(b), n)
+	}
+	x := make([]float64, n)
+	if opts.X0 != nil {
+		copy(x, opts.X0)
+	}
+	r := make([]float64, n)
+	a.Residual(r, x, b)
+
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		return x, Stats{}, nil
+	}
+	tol := opts.tol()
+
+	// Jacobi preconditioner M = diag(A).
+	invDiag := a.Diagonal()
+	for i, d := range invDiag {
+		if d == 0 {
+			return nil, Stats{}, fmt.Errorf("sparse: zero diagonal at row %d; Jacobi preconditioner undefined", i)
+		}
+		invDiag[i] = 1 / d
+	}
+
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	for i := range z {
+		z[i] = invDiag[i] * r[i]
+	}
+	copy(p, z)
+	rz := Dot(r, z)
+
+	maxIter := opts.maxIter(n)
+	for it := 1; it <= maxIter; it++ {
+		a.MulVec(ap, p)
+		pap := Dot(p, ap)
+		if pap == 0 || math.IsNaN(pap) {
+			return nil, Stats{Iterations: it}, fmt.Errorf("%w: CG breakdown (pᵀAp=%g)", ErrNoConvergence, pap)
+		}
+		alpha := rz / pap
+		AXPY(alpha, p, x)
+		AXPY(-alpha, ap, r)
+
+		res := Norm2(r) / bnorm
+		if res <= tol {
+			return x, Stats{Iterations: it, Residual: res}, nil
+		}
+		for i := range z {
+			z[i] = invDiag[i] * r[i]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return x, Stats{Iterations: maxIter, Residual: Norm2(r) / bnorm}, ErrNoConvergence
+}
+
+// BiCGSTAB solves A·x = b for general (possibly nonsymmetric or indefinite)
+// matrices with Jacobi preconditioning.
+func BiCGSTAB(a *CSR, b []float64, opts SolveOptions) ([]float64, Stats, error) {
+	n := a.N()
+	if len(b) != n {
+		return nil, Stats{}, fmt.Errorf("sparse: rhs length %d does not match matrix dimension %d", len(b), n)
+	}
+	x := make([]float64, n)
+	if opts.X0 != nil {
+		copy(x, opts.X0)
+	}
+	r := make([]float64, n)
+	a.Residual(r, x, b)
+
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		return x, Stats{}, nil
+	}
+	tol := opts.tol()
+
+	invDiag := a.Diagonal()
+	for i, d := range invDiag {
+		if d == 0 {
+			return nil, Stats{}, fmt.Errorf("sparse: zero diagonal at row %d; Jacobi preconditioner undefined", i)
+		}
+		invDiag[i] = 1 / d
+	}
+
+	rhat := make([]float64, n)
+	copy(rhat, r)
+	p := make([]float64, n)
+	v := make([]float64, n)
+	s := make([]float64, n)
+	t := make([]float64, n)
+	phat := make([]float64, n)
+	shat := make([]float64, n)
+
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	maxIter := opts.maxIter(n)
+	for it := 1; it <= maxIter; it++ {
+		rhoNew := Dot(rhat, r)
+		if rhoNew == 0 {
+			return nil, Stats{Iterations: it}, fmt.Errorf("%w: BiCGSTAB breakdown (rho=0)", ErrNoConvergence)
+		}
+		if it == 1 {
+			copy(p, r)
+		} else {
+			beta := (rhoNew / rho) * (alpha / omega)
+			for i := range p {
+				p[i] = r[i] + beta*(p[i]-omega*v[i])
+			}
+		}
+		rho = rhoNew
+
+		for i := range phat {
+			phat[i] = invDiag[i] * p[i]
+		}
+		a.MulVec(v, phat)
+		den := Dot(rhat, v)
+		if den == 0 {
+			return nil, Stats{Iterations: it}, fmt.Errorf("%w: BiCGSTAB breakdown (r̂ᵀv=0)", ErrNoConvergence)
+		}
+		alpha = rho / den
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if res := Norm2(s) / bnorm; res <= tol {
+			AXPY(alpha, phat, x)
+			return x, Stats{Iterations: it, Residual: res}, nil
+		}
+		for i := range shat {
+			shat[i] = invDiag[i] * s[i]
+		}
+		a.MulVec(t, shat)
+		tt := Dot(t, t)
+		if tt == 0 {
+			return nil, Stats{Iterations: it}, fmt.Errorf("%w: BiCGSTAB breakdown (tᵀt=0)", ErrNoConvergence)
+		}
+		omega = Dot(t, s) / tt
+		for i := range x {
+			x[i] += alpha*phat[i] + omega*shat[i]
+		}
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+		if res := Norm2(r) / bnorm; res <= tol {
+			return x, Stats{Iterations: it, Residual: res}, nil
+		}
+		if omega == 0 {
+			return nil, Stats{Iterations: it}, fmt.Errorf("%w: BiCGSTAB breakdown (omega=0)", ErrNoConvergence)
+		}
+	}
+	a.Residual(r, x, b)
+	return x, Stats{Iterations: maxIter, Residual: Norm2(r) / bnorm}, ErrNoConvergence
+}
+
+// SOR solves A·x = b with successive over-relaxation. relax=1 is
+// Gauss-Seidel. SOR is exposed mainly as a reference solver for tests and
+// as a smoother; the Krylov methods are preferred in production paths.
+func SOR(a *CSR, b []float64, relax float64, opts SolveOptions) ([]float64, Stats, error) {
+	n := a.N()
+	if len(b) != n {
+		return nil, Stats{}, fmt.Errorf("sparse: rhs length %d does not match matrix dimension %d", len(b), n)
+	}
+	if relax <= 0 || relax >= 2 {
+		return nil, Stats{}, fmt.Errorf("sparse: SOR relaxation factor %g outside (0,2)", relax)
+	}
+	x := make([]float64, n)
+	if opts.X0 != nil {
+		copy(x, opts.X0)
+	}
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		return x, Stats{}, nil
+	}
+	tol := opts.tol()
+	r := make([]float64, n)
+
+	maxIter := opts.maxIter(n)
+	for it := 1; it <= maxIter; it++ {
+		for i := 0; i < n; i++ {
+			lo, hi := int(a.rowPtr[i]), int(a.rowPtr[i+1])
+			var sum, diag float64
+			for k := lo; k < hi; k++ {
+				j := int(a.colIdx[k])
+				if j == i {
+					diag = a.values[k]
+					continue
+				}
+				sum += a.values[k] * x[j]
+			}
+			if diag == 0 {
+				return nil, Stats{Iterations: it}, fmt.Errorf("sparse: zero diagonal at row %d in SOR", i)
+			}
+			gs := (b[i] - sum) / diag
+			x[i] += relax * (gs - x[i])
+		}
+		if res := a.Residual(r, x, b); res/ (1+bnorm) <= tol || Norm2(r)/bnorm <= tol {
+			return x, Stats{Iterations: it, Residual: Norm2(r) / bnorm}, nil
+		}
+	}
+	return x, Stats{Iterations: maxIter, Residual: Norm2(r) / bnorm}, ErrNoConvergence
+}
+
+// LU is a dense LU factorization with partial pivoting. It is the fallback
+// for small systems and for operating points where the Krylov solvers
+// break down (e.g. matrices driven indefinite by leakage feedback).
+type LU struct {
+	n    int
+	lu   [][]float64
+	piv  []int
+	sign int
+}
+
+// NewLU factorizes the dense matrix a (row-major slices). a is not modified.
+func NewLU(a [][]float64) (*LU, error) {
+	n := len(a)
+	lu := make([][]float64, n)
+	buf := make([]float64, n*n)
+	for i := range lu {
+		lu[i] = buf[i*n : (i+1)*n]
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("sparse: dense matrix row %d has length %d, want %d", i, len(a[i]), n)
+		}
+		copy(lu[i], a[i])
+	}
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	f := &LU{n: n, lu: lu, piv: piv, sign: 1}
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p := col
+		max := math.Abs(lu[col][col])
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(lu[r][col]); a > max {
+				max, p = a, r
+			}
+		}
+		if max == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, col)
+		}
+		if p != col {
+			lu[p], lu[col] = lu[col], lu[p]
+			piv[p], piv[col] = piv[col], piv[p]
+			f.sign = -f.sign
+		}
+		pivVal := lu[col][col]
+		for r := col + 1; r < n; r++ {
+			m := lu[r][col] / pivVal
+			lu[r][col] = m
+			if m == 0 {
+				continue
+			}
+			rowR, rowC := lu[r], lu[col]
+			for c := col + 1; c < n; c++ {
+				rowR[c] -= m * rowC[c]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b using the stored factorization.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("sparse: rhs length %d does not match matrix dimension %d", len(b), f.n)
+	}
+	x := make([]float64, f.n)
+	for i := 0; i < f.n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution (unit lower triangular).
+	for i := 1; i < f.n; i++ {
+		row := f.lu[i]
+		var s float64
+		for j := 0; j < i; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := f.n - 1; i >= 0; i-- {
+		row := f.lu[i]
+		var s float64
+		for j := i + 1; j < f.n; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] = (x[i] - s) / row[i]
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i][i]
+	}
+	return d
+}
+
+// SolveAuto solves A·x = b choosing a method automatically: CG first when
+// the matrix is symmetric, falling back to BiCGSTAB, then dense LU for
+// systems small enough to factorize. It is the entry point used by the
+// thermal package.
+func SolveAuto(a *CSR, b []float64, opts SolveOptions) ([]float64, Stats, error) {
+	const denseLimit = 3000
+
+	sym := a.IsSymmetric(1e-12)
+	if sym {
+		// IC(0)-preconditioned CG first: on the conduction-dominated
+		// thermal matrices it converges in a fraction of the Jacobi
+		// iterations. Factorization failure (indefinite matrix near
+		// thermal runaway) falls through to the Jacobi variants.
+		if ic, err := NewICPreconditioner(a); err == nil {
+			if x, st, err := CGPrecond(a, b, ic, opts); err == nil {
+				return x, st, nil
+			}
+		}
+		if x, st, err := CG(a, b, opts); err == nil {
+			return x, st, nil
+		}
+	}
+	if x, st, err := BiCGSTAB(a, b, opts); err == nil {
+		return x, st, nil
+	}
+	if a.N() <= denseLimit {
+		f, err := NewLU(a.Dense())
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		x, err := f.Solve(b)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		r := make([]float64, a.N())
+		res := a.Residual(r, x, b)
+		return x, Stats{Iterations: 1, Residual: res / (1 + Norm2(b))}, nil
+	}
+	return nil, Stats{}, ErrNoConvergence
+}

@@ -1,0 +1,336 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// laplacian1D builds the standard tridiagonal SPD matrix with Dirichlet
+// boundary coupling, a faithful miniature of the thermal conduction matrix.
+func laplacian1D(n int, g float64) *CSR {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddDiag(i, 2*g)
+		if i > 0 {
+			b.Add(i, i-1, -g)
+		}
+		if i < n-1 {
+			b.Add(i, i+1, -g)
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func randomSPD(rng *rand.Rand, n int) *CSR {
+	// A = B·Bᵀ + n·I computed densely, then assembled.
+	bm := make([][]float64, n)
+	for i := range bm {
+		bm[i] = make([]float64, n)
+		for j := range bm[i] {
+			bm[i][j] = rng.NormFloat64()
+		}
+	}
+	bld := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += bm[i][k] * bm[j][k]
+			}
+			if i == j {
+				s += float64(n)
+			}
+			bld.Add(i, j, s)
+		}
+	}
+	m, err := bld.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func checkSolution(t *testing.T, name string, a *CSR, x, b []float64, tol float64) {
+	t.Helper()
+	r := make([]float64, a.N())
+	res := a.Residual(r, x, b)
+	if res > tol*(1+NormInf(b)) {
+		t.Errorf("%s: residual %g exceeds %g", name, res, tol*(1+NormInf(b)))
+	}
+}
+
+func TestCGOnLaplacian(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100, 500} {
+		a := laplacian1D(n, 3.5)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = float64(i%7) - 3
+		}
+		x, st, err := CG(a, b, SolveOptions{})
+		if err != nil {
+			t.Fatalf("n=%d: CG: %v", n, err)
+		}
+		if st.Iterations == 0 && NormInf(b) > 0 {
+			t.Errorf("n=%d: CG reported zero iterations", n)
+		}
+		checkSolution(t, "CG", a, x, b, 1e-8)
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a := laplacian1D(5, 1)
+	x, _, err := CG(a, make([]float64, 5), SolveOptions{})
+	if err != nil {
+		t.Fatalf("CG: %v", err)
+	}
+	if NormInf(x) != 0 {
+		t.Errorf("CG with zero rhs returned nonzero x: %v", x)
+	}
+}
+
+func TestCGWarmStart(t *testing.T) {
+	a := laplacian1D(50, 2)
+	b := make([]float64, 50)
+	for i := range b {
+		b[i] = math.Sin(float64(i))
+	}
+	x1, st1, err := CG(a, b, SolveOptions{})
+	if err != nil {
+		t.Fatalf("cold CG: %v", err)
+	}
+	_, st2, err := CG(a, b, SolveOptions{X0: x1})
+	if err != nil {
+		t.Fatalf("warm CG: %v", err)
+	}
+	if st2.Iterations > st1.Iterations {
+		t.Errorf("warm start took %d iterations, cold start %d", st2.Iterations, st1.Iterations)
+	}
+}
+
+func TestCGRejectsDimensionMismatch(t *testing.T) {
+	a := laplacian1D(4, 1)
+	if _, _, err := CG(a, make([]float64, 3), SolveOptions{}); err == nil {
+		t.Fatal("CG accepted mismatched rhs")
+	}
+}
+
+func TestBiCGSTABOnNonsymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(40)
+		bld := NewBuilder(n)
+		for i := 0; i < n; i++ {
+			bld.AddDiag(i, 10+rng.Float64())
+			for k := 0; k < 3; k++ {
+				j := rng.Intn(n)
+				if j != i {
+					bld.Add(i, j, rng.NormFloat64())
+				}
+			}
+		}
+		a, err := bld.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, _, err := BiCGSTAB(a, b, SolveOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: BiCGSTAB: %v", trial, err)
+		}
+		checkSolution(t, "BiCGSTAB", a, x, b, 1e-7)
+	}
+}
+
+func TestSOROnLaplacian(t *testing.T) {
+	a := laplacian1D(30, 1.5)
+	b := make([]float64, 30)
+	for i := range b {
+		b[i] = 1
+	}
+	for _, relax := range []float64{1.0, 1.5} {
+		x, _, err := SOR(a, b, relax, SolveOptions{Tol: 1e-9, MaxIter: 20000})
+		if err != nil {
+			t.Fatalf("relax=%g: SOR: %v", relax, err)
+		}
+		checkSolution(t, "SOR", a, x, b, 1e-6)
+	}
+}
+
+func TestSORRejectsBadRelaxation(t *testing.T) {
+	a := laplacian1D(3, 1)
+	b := []float64{1, 1, 1}
+	for _, w := range []float64{0, -1, 2, 2.5} {
+		if _, _, err := SOR(a, b, w, SolveOptions{}); err == nil {
+			t.Errorf("SOR accepted relaxation %g", w)
+		}
+	}
+}
+
+func TestLUSolveAndDet(t *testing.T) {
+	a := [][]float64{
+		{4, 2, 0},
+		{2, 5, 1},
+		{0, 1, 3},
+	}
+	f, err := NewLU(a)
+	if err != nil {
+		t.Fatalf("NewLU: %v", err)
+	}
+	// det by cofactor: 4*(15-1) - 2*(6-0) = 56-12 = 44.
+	if d := f.Det(); math.Abs(d-44) > 1e-10 {
+		t.Errorf("Det = %g, want 44", d)
+	}
+	b := []float64{2, -1, 7}
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	for i := range a {
+		var s float64
+		for j := range a[i] {
+			s += a[i][j] * x[j]
+		}
+		if math.Abs(s-b[i]) > 1e-10 {
+			t.Errorf("row %d: Ax = %g, want %g", i, s, b[i])
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	_, err := NewLU([][]float64{{1, 2}, {2, 4}})
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("NewLU on singular matrix: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUPivoting(t *testing.T) {
+	// Zero leading pivot requires row exchange.
+	a := [][]float64{{0, 1}, {1, 0}}
+	f, err := NewLU(a)
+	if err != nil {
+		t.Fatalf("NewLU: %v", err)
+	}
+	x, err := f.Solve([]float64{3, 5})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(x[0]-5) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("Solve = %v, want [5 3]", x)
+	}
+}
+
+func TestSolveAutoAgreesWithLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		n := 3 + rng.Intn(20)
+		a := randomSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xAuto, _, err := SolveAuto(a, b, SolveOptions{})
+		if err != nil {
+			t.Fatalf("SolveAuto: %v", err)
+		}
+		f, err := NewLU(a.Dense())
+		if err != nil {
+			t.Fatalf("NewLU: %v", err)
+		}
+		xLU, err := f.Solve(b)
+		if err != nil {
+			t.Fatalf("LU Solve: %v", err)
+		}
+		for i := range xAuto {
+			if math.Abs(xAuto[i]-xLU[i]) > 1e-6*(1+math.Abs(xLU[i])) {
+				t.Fatalf("trial %d: xAuto[%d]=%g differs from xLU=%g", trial, i, xAuto[i], xLU[i])
+			}
+		}
+	}
+}
+
+// Property: CG solution of a random SPD system reproduces the rhs.
+func TestCGPropertySPD(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		a := randomSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64() * 10
+		}
+		x, _, err := CG(a, b, SolveOptions{Tol: 1e-12})
+		if err != nil {
+			return false
+		}
+		r := make([]float64, n)
+		return a.Residual(r, x, b) < 1e-6*(1+NormInf(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LU of a well-conditioned random matrix solves consistently for
+// two different right-hand sides (linearity of the solve).
+func TestLULinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+			}
+			a[i][i] += float64(n) // diagonally dominate for conditioning
+		}
+		f2, err := NewLU(a)
+		if err != nil {
+			return false
+		}
+		b1 := make([]float64, n)
+		b2 := make([]float64, n)
+		sum := make([]float64, n)
+		for i := range b1 {
+			b1[i], b2[i] = rng.NormFloat64(), rng.NormFloat64()
+			sum[i] = b1[i] + b2[i]
+		}
+		x1, err1 := f2.Solve(b1)
+		x2, err2 := f2.Solve(b2)
+		xs, err3 := f2.Solve(sum)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		for i := range xs {
+			if math.Abs(xs[i]-(x1[i]+x2[i])) > 1e-8*(1+math.Abs(xs[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoConvergenceReported(t *testing.T) {
+	a := laplacian1D(200, 1)
+	b := make([]float64, 200)
+	for i := range b {
+		b[i] = 1
+	}
+	_, _, err := CG(a, b, SolveOptions{MaxIter: 1, Tol: 1e-14})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("CG with MaxIter=1: err = %v, want ErrNoConvergence", err)
+	}
+}

@@ -1,0 +1,40 @@
+package tec_test
+
+import (
+	"fmt"
+
+	"oftec/internal/tec"
+)
+
+// Example reproduces Equation (1) of the paper for one module: the heat
+// absorbed from the cold side is the Peltier term minus back-conduction
+// minus half the Joule heat.
+func Example() {
+	dev := tec.DefaultModule()
+	tc, th, i := 348.15, 353.15, 2.0 // 75 °C cold side, 5 K across, 2 A
+
+	qc := dev.ColdSideHeat(tc, th-tc, i)
+	qh := dev.HotSideHeat(th, th-tc, i)
+	p := dev.Power(th-tc, i)
+
+	fmt.Printf("q̇_c = %.4f W\n", qc)
+	fmt.Printf("q̇_h = %.4f W\n", qh)
+	fmt.Printf("P    = %.4f W (= q̇_h − q̇_c)\n", p)
+	// Output:
+	// q̇_c = 0.5364 W
+	// q̇_h = 0.5675 W
+	// P    = 0.0310 W (= q̇_h − q̇_c)
+}
+
+// ExampleDevice_COP shows the efficiency curve's sweet spot: COP rises
+// from zero, peaks, then falls as Joule heating takes over.
+func ExampleDevice_COP() {
+	dev := tec.DefaultModule()
+	for _, i := range []float64{0.5, 2, 5} {
+		fmt.Printf("I=%.1f A: COP %.1f\n", i, dev.COP(348.15, 5, i))
+	}
+	// Output:
+	// I=0.5 A: COP -50.4
+	// I=2.0 A: COP 17.3
+	// I=5.0 A: COP 15.0
+}

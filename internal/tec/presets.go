@@ -1,0 +1,38 @@
+package tec
+
+// Preset TEC modules spanning the technology space the paper's Section 1
+// discusses. Values are module-level and representative of published
+// figures; the deployment used by the OFTEC experiments is DefaultModule.
+
+// DefaultModule is the 1 mm² thin-film module tiled over the die in the
+// OFTEC experiments (DESIGN.md §6): modest per-module Seebeck voltage and
+// milliohm resistance, so hundreds of series-connected modules draw a few
+// amperes at a few volts.
+func DefaultModule() Device {
+	return Device{Seebeck: 1.5e-3, Resistance: 4e-3, Conductance: 0.1, MaxCurrent: 5}
+}
+
+// SuperlatticeThinFilm models the Bi2Te3/Sb2Te3 superlattice coolers of
+// Chowdhury et al. (ref [3]): a ~3 mm² thin-film device with very high
+// heat-pumping density (~1.3 kW/cm² peak) and fast (ms) response. High
+// ZT̄ at the cost of low absolute ΔT_max per stage.
+func SuperlatticeThinFilm() Device {
+	return Device{Seebeck: 6e-3, Resistance: 12e-3, Conductance: 0.35, MaxCurrent: 9}
+}
+
+// BulkBiTe models a conventional bulk Bi2Te3 Peltier module (centimeter
+// scale, hundreds of couples): large Seebeck voltage and resistance, low
+// drive current, slow (seconds) response. Included for comparison; bulk
+// modules do not fit inside the chip package the paper targets.
+func BulkBiTe() Device {
+	return Device{Seebeck: 0.05, Resistance: 2.0, Conductance: 0.5, MaxCurrent: 6}
+}
+
+// Presets returns the named module presets.
+func Presets() map[string]Device {
+	return map[string]Device{
+		"default":      DefaultModule(),
+		"superlattice": SuperlatticeThinFilm(),
+		"bulk":         BulkBiTe(),
+	}
+}

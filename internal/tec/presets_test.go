@@ -1,0 +1,41 @@
+package tec
+
+import "testing"
+
+func TestPresetsValid(t *testing.T) {
+	presets := Presets()
+	if len(presets) < 3 {
+		t.Fatalf("expected at least 3 presets, got %d", len(presets))
+	}
+	for name, d := range presets {
+		if err := d.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", name, err)
+		}
+		// Every preset must have a physically plausible figure of merit at
+		// room temperature: ZT̄ between 0.1 and 3 covers published devices.
+		zt := d.FigureOfMerit(300)
+		if zt < 0.1 || zt > 3 {
+			t.Errorf("preset %s has implausible ZT̄ = %g", name, zt)
+		}
+	}
+}
+
+func TestPresetCharacter(t *testing.T) {
+	bulk, thin := BulkBiTe(), SuperlatticeThinFilm()
+	// Bulk modules develop large Seebeck voltages; thin films small ones.
+	if bulk.Seebeck <= thin.Seebeck {
+		t.Errorf("bulk Seebeck %g should exceed thin-film %g", bulk.Seebeck, thin.Seebeck)
+	}
+	// Thin films sustain far higher optimal currents per module than bulk
+	// devices at the same cold-side temperature.
+	if thin.OptimalCurrent(350) <= bulk.OptimalCurrent(350) {
+		t.Errorf("thin-film optimal current %g should exceed bulk %g",
+			thin.OptimalCurrent(350), bulk.OptimalCurrent(350))
+	}
+	// The default deployment module matches the thermal.DefaultConfig
+	// areal parameters at 1 mm².
+	def := DefaultModule()
+	if def.Seebeck != 1.5e-3 || def.Resistance != 4e-3 || def.Conductance != 0.1 {
+		t.Errorf("default module drifted from the documented deployment: %+v", def)
+	}
+}

@@ -1,0 +1,34 @@
+package thermal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SaveConfig writes the configuration as indented JSON. The floorplan is
+// embedded (unit list plus die outline), so a saved configuration is fully
+// self-contained.
+func SaveConfig(w io.Writer, c Config) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		return fmt.Errorf("thermal: encoding config: %w", err)
+	}
+	return nil
+}
+
+// LoadConfig reads a configuration produced by SaveConfig and validates
+// it.
+func LoadConfig(r io.Reader) (Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("thermal: decoding config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

@@ -1,0 +1,49 @@
+package thermal
+
+import (
+	"fmt"
+	"io"
+
+	"oftec/internal/units"
+)
+
+// WriteHeatmapCSV exports one plane's temperature field as CSV with
+// columns row, col, x_mm, y_mm, temp_c — the raw data behind thermal-map
+// plots like the paper's Figure 6 surfaces. Plane names follow
+// PlaneTemps ("chip", "tim1", "tec_abs", "tec_gen", "tec_rej",
+// "spreader", "tim2", "sink", "pcb").
+func (m *Model) WriteHeatmapCSV(w io.Writer, res *Result, plane string) error {
+	temps, err := m.PlaneTemps(res, plane)
+	if err != nil {
+		return err
+	}
+	var g = m.gridByName(plane)
+	if g == nil {
+		return fmt.Errorf("thermal: unknown plane %q", plane)
+	}
+	if _, err := fmt.Fprintln(w, "row,col,x_mm,y_mm,temp_c"); err != nil {
+		return err
+	}
+	for idx, temp := range temps {
+		r, c := g.RowCol(idx)
+		x, y := g.CellCenter(r, c)
+		if _, err := fmt.Fprintf(w, "%d,%d,%.4f,%.4f,%.4f\n",
+			r, c, x*1e3, y*1e3, units.KToC(temp)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gridByName resolves a plane name to its grid.
+func (m *Model) gridByName(plane string) interface {
+	RowCol(int) (int, int)
+	CellCenter(int, int) (float64, float64)
+} {
+	for p := 0; p < numPlanes; p++ {
+		if planeNames[p] == plane {
+			return m.grids[p]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,579 @@
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"oftec/internal/floorplan"
+	"oftec/internal/grid"
+	"oftec/internal/leakage"
+	"oftec/internal/power"
+	"oftec/internal/sparse"
+)
+
+// ErrThermalRunaway is reported (wrapped) when the steady-state iteration
+// with the exact exponential leakage model diverges, i.e. the positive
+// electrothermal feedback loop has gain at or above one.
+var ErrThermalRunaway = errors.New("thermal: thermal runaway")
+
+// plane indices in the node stack, bottom to top.
+const (
+	planePCB = iota
+	planeChip
+	planeTIM1
+	planeTECCold
+	planeTECMid
+	planeTECHot
+	planeSpreader
+	planeTIM2
+	planeSink
+	numPlanes
+)
+
+var planeNames = [numPlanes]string{
+	"pcb", "chip", "tim1", "tec_abs", "tec_gen", "tec_rej", "spreader", "tim2", "sink",
+}
+
+type triplet struct {
+	i, j int
+	v    float64
+}
+
+// Model is the assembled thermal network of one cooling package. It is
+// safe for concurrent Evaluate calls once built, as long as SetDynamicPower
+// is not called concurrently.
+type Model struct {
+	cfg Config
+
+	grids [numPlanes]*grid.Grid
+	off   [numPlanes]int
+	n     int
+
+	// base holds the conduction couplings and the constant ambient path
+	// (PCB); variable parts (sink conductance, Peltier, leakage) are added
+	// per evaluation.
+	base    []triplet
+	baseRHS []float64
+
+	// sinkFrac[i] is the fraction of g_HS&fan(ω) assigned to sink cell i.
+	sinkFrac []float64
+
+	// Per chip-grid-cell data.
+	dyn      []float64 // dynamic power, W
+	leakA    []float64 // Taylor slope a, W/K
+	leakB    []float64 // Taylor value b at Tref, W
+	leakP0   []float64 // exponential P0 at T0, W
+	leakBeta float64
+	leakT0   float64
+	leakTref float64
+
+	// TEC module parameters per chip-grid cell (the TEC planes share the
+	// chip grid resolution). Zero alpha marks an uncovered (filler) cell.
+	tecAlpha []float64 // module Seebeck α, V/K
+	tecR     []float64 // module electrical resistance, Ω
+	numTEC   int
+}
+
+// NewModel assembles the network for the given configuration and dynamic
+// power map.
+func NewModel(cfg Config, dyn power.Map) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{cfg: cfg}
+	if err := m.buildGrids(); err != nil {
+		return nil, err
+	}
+	m.indexNodes()
+	if err := m.buildTEC(); err != nil {
+		return nil, err
+	}
+	if err := m.buildConduction(); err != nil {
+		return nil, err
+	}
+	if err := m.buildLeakage(); err != nil {
+		return nil, err
+	}
+	if err := m.SetDynamicPower(dyn); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// NumNodes returns the total number of temperature nodes.
+func (m *Model) NumNodes() int { return m.n }
+
+// NumTEC returns the number of deployed TEC modules (covered cells).
+func (m *Model) NumTEC() int { return m.numTEC }
+
+// ChipGrid returns the chip-layer grid (useful for mapping results).
+func (m *Model) ChipGrid() *grid.Grid { return m.grids[planeChip] }
+
+func centered(center floorplan.Rect, edge float64) floorplan.Rect {
+	cx, cy := center.Center()
+	return floorplan.Rect{X: cx - edge/2, Y: cy - edge/2, W: edge, H: edge}
+}
+
+func (m *Model) buildGrids() error {
+	cfg := &m.cfg
+	die := floorplan.Rect{X: 0, Y: 0, W: cfg.Floorplan.Width, H: cfg.Floorplan.Height}
+
+	mk := func(plane int, outline floorplan.Rect, spec LayerSpec, res int) error {
+		g, err := grid.New(planeNames[plane], outline, spec.Thickness, res, res, spec.Material)
+		if err != nil {
+			return err
+		}
+		m.grids[plane] = g
+		return nil
+	}
+
+	if err := mk(planePCB, centered(die, cfg.PCB.Edge), cfg.PCB, cfg.PCBRes); err != nil {
+		return err
+	}
+	if err := mk(planeChip, die, cfg.Chip, cfg.ChipRes); err != nil {
+		return err
+	}
+	if err := mk(planeTIM1, die, cfg.TIM1, cfg.ChipRes); err != nil {
+		return err
+	}
+	// The three TEC circuit planes share the chip grid footprint. The
+	// cold/rej planes are interface planes (no lateral conduction of their
+	// own); the gen plane carries the layer's lateral conduction.
+	tecSpec := LayerSpec{Edge: cfg.Chip.Edge, Thickness: cfg.TEC.Thickness,
+		Material: cfg.TIM1.Material}
+	tecSpec.Material.Conductivity = cfg.TEC.LateralConductivity
+	for _, p := range []int{planeTECCold, planeTECMid, planeTECHot} {
+		if err := mk(p, die, tecSpec, cfg.ChipRes); err != nil {
+			return err
+		}
+	}
+	if err := mk(planeSpreader, centered(die, cfg.Spreader.Edge), cfg.Spreader, cfg.SpreaderRes); err != nil {
+		return err
+	}
+	if err := mk(planeTIM2, centered(die, cfg.TIM2.Edge), cfg.TIM2, cfg.SpreaderRes); err != nil {
+		return err
+	}
+	if err := mk(planeSink, centered(die, cfg.Sink.Edge), cfg.Sink, cfg.SinkRes); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (m *Model) indexNodes() {
+	n := 0
+	for p := 0; p < numPlanes; p++ {
+		m.off[p] = n
+		n += m.grids[p].NumCells()
+	}
+	m.n = n
+}
+
+// node maps (plane, cell) to a global node index.
+func (m *Model) node(plane, cell int) int { return m.off[plane] + cell }
+
+// buildTEC decides module coverage per chip-grid cell and instantiates the
+// per-cell module parameters from the areal spec.
+func (m *Model) buildTEC() error {
+	cfg := &m.cfg
+	chip := m.grids[planeChip]
+	nc := chip.NumCells()
+	m.tecAlpha = make([]float64, nc)
+	m.tecR = make([]float64, nc)
+
+	// A cell is uncovered when more than half of it lies under an
+	// uncovered unit (the caches).
+	uncoveredFrac := make([]float64, nc)
+	for _, name := range cfg.TEC.Uncovered {
+		u, _ := cfg.Floorplan.Unit(name)
+		for _, idx := range chip.CellsIntersecting(u.Rect) {
+			uncoveredFrac[idx] += chip.OverlapFraction(idx, u.Rect)
+		}
+	}
+	area := chip.CellArea()
+	for i := 0; i < nc; i++ {
+		if uncoveredFrac[i] > 0.5 {
+			continue
+		}
+		m.tecAlpha[i] = cfg.TEC.SeebeckPerArea * area
+		m.tecR[i] = cfg.TEC.ResistancePerArea * area
+		m.numTEC++
+	}
+	if m.numTEC == 0 {
+		return fmt.Errorf("thermal: TEC deployment covers no cells")
+	}
+
+	// The gen plane's lateral conductivity: module material on covered
+	// cells, filler elsewhere.
+	mid := m.grids[planeTECMid]
+	for i := 0; i < nc; i++ {
+		k := cfg.TEC.LateralConductivity
+		if m.tecAlpha[i] == 0 {
+			k = cfg.TEC.FillerConductivity
+		}
+		if err := mid.SetCellConductivity(i, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildConduction assembles the constant conduction couplings and the PCB
+// ambient path into the base triplet list and base RHS.
+func (m *Model) buildConduction() error {
+	cfg := &m.cfg
+	m.baseRHS = make([]float64, m.n)
+
+	addCoupling := func(i, j int, g float64) {
+		m.base = append(m.base,
+			triplet{i, i, g}, triplet{j, j, g},
+			triplet{i, j, -g}, triplet{j, i, -g})
+	}
+
+	// Lateral conduction within the conducting planes. The cold and rej
+	// planes are interface planes without lateral paths of their own.
+	for _, p := range []int{planePCB, planeChip, planeTIM1, planeTECMid, planeSpreader, planeTIM2, planeSink} {
+		for _, lc := range m.grids[p].LateralCouplings() {
+			addCoupling(m.node(p, lc.A), m.node(p, lc.B), lc.G)
+		}
+	}
+
+	// Vertical conduction between stacked conduction layers.
+	for _, pair := range [][2]int{
+		{planePCB, planeChip},
+		{planeChip, planeTIM1},
+		{planeSpreader, planeTIM2},
+		{planeTIM2, planeSink},
+	} {
+		for _, vc := range grid.CoupleVertical(m.grids[pair[0]], m.grids[pair[1]]) {
+			addCoupling(m.node(pair[0], vc.Lower), m.node(pair[1], vc.Upper), vc.G)
+		}
+	}
+
+	// TIM1 top face to the TEC absorption plane: only TIM1's half
+	// thickness stands between its center node and the interface plane.
+	tim1 := m.grids[planeTIM1]
+	for i := 0; i < tim1.NumCells(); i++ {
+		addCoupling(m.node(planeTIM1, i), m.node(planeTECCold, i), tim1.VerticalHalfConductance(i))
+	}
+
+	// Inside the TEC layer (Figure 4): covered cells couple abs–gen and
+	// gen–rej with conductance 2·K_TEC; filler cells conduct through the
+	// filler material's half thickness.
+	chip := m.grids[planeChip]
+	area := chip.CellArea()
+	for i := 0; i < chip.NumCells(); i++ {
+		var g float64
+		if m.tecAlpha[i] != 0 {
+			g = 2 * cfg.TEC.ConductancePerArea * area
+		} else {
+			g = cfg.TEC.FillerConductivity * area / (cfg.TEC.Thickness / 2)
+		}
+		addCoupling(m.node(planeTECCold, i), m.node(planeTECMid, i), g)
+		addCoupling(m.node(planeTECMid, i), m.node(planeTECHot, i), g)
+	}
+
+	// TEC rejection plane to the spreader: the spreader's half thickness,
+	// overlap-weighted because the footprints differ.
+	hot := m.grids[planeTECHot]
+	spr := m.grids[planeSpreader]
+	for r := 0; r < hot.Rows; r++ {
+		for c := 0; c < hot.Cols; c++ {
+			hi := hot.Index(r, c)
+			rect := hot.CellRect(r, c)
+			for _, si := range spr.CellsIntersecting(rect) {
+				sr, sc := spr.RowCol(si)
+				ov := spr.CellRect(sr, sc).Overlap(rect)
+				if ov <= 0 {
+					continue
+				}
+				g := spr.ConductivityAt(si) * ov / (spr.Thickness / 2)
+				addCoupling(m.node(planeTECHot, hi), m.node(planeSpreader, si), g)
+			}
+		}
+	}
+
+	// PCB secondary path to ambient: constant, so it lives in the base.
+	pcb := m.grids[planePCB]
+	if cfg.PCBToAmbient > 0 {
+		per := cfg.PCBToAmbient / float64(pcb.NumCells())
+		for i := 0; i < pcb.NumCells(); i++ {
+			n := m.node(planePCB, i)
+			m.base = append(m.base, triplet{n, n, per})
+			m.baseRHS[n] += per * cfg.Ambient
+		}
+	}
+
+	// Sink-to-ambient area fractions; the conductance itself depends on ω.
+	sink := m.grids[planeSink]
+	m.sinkFrac = make([]float64, sink.NumCells())
+	for i := range m.sinkFrac {
+		m.sinkFrac[i] = 1 / float64(sink.NumCells())
+	}
+	return nil
+}
+
+// buildLeakage samples the exponential law and regresses the per-cell
+// Taylor coefficients, reproducing the paper's McPAT procedure.
+func (m *Model) buildLeakage() error {
+	cfg := &m.cfg
+	chip := m.grids[planeChip]
+	nc := chip.NumCells()
+	area := chip.CellArea()
+
+	m.leakBeta = cfg.Leakage.Beta
+	m.leakT0 = cfg.Leakage.T0
+	m.leakTref = cfg.Leakage.Tref
+	m.leakP0 = make([]float64, nc)
+	m.leakA = make([]float64, nc)
+	m.leakB = make([]float64, nc)
+
+	// All cells share the same areal law; regress once at unit power and
+	// scale by cell P0.
+	unit := leakage.Exponential{P0: 1, Beta: cfg.Leakage.Beta, T0: cfg.Leakage.T0}
+	samples, err := unit.SampleRange(cfg.Leakage.SampleLo, cfg.Leakage.SampleHi, cfg.Leakage.NumSamples)
+	if err != nil {
+		return err
+	}
+	taylor, err := leakage.Regress(samples, cfg.Leakage.Tref)
+	if err != nil {
+		return err
+	}
+
+	// Per-cell density factor from the per-unit multipliers: the factor is
+	// the overlap-weighted average of the unit multipliers over the cell
+	// (units without an entry contribute 1).
+	factors := make([]float64, nc)
+	for i := range factors {
+		factors[i] = 1
+	}
+	for name, mult := range cfg.Leakage.UnitMultipliers {
+		u, _ := cfg.Floorplan.Unit(name)
+		for _, idx := range chip.CellsIntersecting(u.Rect) {
+			factors[idx] += (mult - 1) * chip.OverlapFraction(idx, u.Rect)
+		}
+	}
+
+	for i := 0; i < nc; i++ {
+		p0 := cfg.Leakage.P0Density * area * factors[i]
+		m.leakP0[i] = p0
+		m.leakA[i] = taylor.A * p0
+		m.leakB[i] = taylor.B * p0
+	}
+	return nil
+}
+
+// SetDynamicPower replaces the per-unit dynamic power input.
+func (m *Model) SetDynamicPower(dyn power.Map) error {
+	cells, err := dyn.ToCells(m.cfg.Floorplan, m.grids[planeChip])
+	if err != nil {
+		return err
+	}
+	m.dyn = cells
+	return nil
+}
+
+// DynamicPowerTotal returns the summed dynamic power input in watts.
+func (m *Model) DynamicPowerTotal() float64 {
+	var s float64
+	for _, p := range m.dyn {
+		s += p
+	}
+	return s
+}
+
+// TotalLeakageSlope returns Σa_i, the whole-chip Taylor leakage slope in
+// W/K; together with the package thermal resistance it determines the
+// runaway loop gain.
+func (m *Model) TotalLeakageSlope() float64 {
+	var s float64
+	for _, a := range m.leakA {
+		s += a
+	}
+	return s
+}
+
+// uniformCurrent returns the per-cell current function for the paper's
+// deployment: every module in series carries the same current.
+func (m *Model) uniformCurrent(iTEC float64) func(int) float64 {
+	return func(int) float64 { return iTEC }
+}
+
+// assemble builds the system matrix and RHS for the given operating point.
+// cur supplies the TEC driving current per chip-grid cell (the paper's
+// series deployment uses a uniform current; the zoned extension drives
+// groups of modules independently). linearLeak selects whether the Taylor
+// leakage is folded into the system (true) or the provided constant
+// per-cell leakage powers are used (false, for the exact fixed-point
+// iteration).
+func (m *Model) assemble(omega float64, cur func(int) float64, linearLeak bool, leakConst []float64) (*sparse.CSR, []float64, error) {
+	b := sparse.NewBuilder(m.n)
+	for _, t := range m.base {
+		b.Add(t.i, t.j, t.v)
+	}
+	rhs := make([]float64, m.n)
+	copy(rhs, m.baseRHS)
+
+	// Fan-dependent sink-to-ambient conductance.
+	g := m.cfg.HeatSink.Conductance(omega)
+	for i, frac := range m.sinkFrac {
+		n := m.node(planeSink, i)
+		b.AddDiag(n, g*frac)
+		rhs[n] += g * frac * m.cfg.Ambient
+	}
+
+	// Chip layer: dynamic power and leakage.
+	for i, p := range m.dyn {
+		n := m.node(planeChip, i)
+		rhs[n] += p
+		if linearLeak {
+			// p_leak = a(T−Tref)+b  →  diag −= a, rhs += b − a·Tref.
+			b.AddDiag(n, -m.leakA[i])
+			rhs[n] += m.leakB[i] - m.leakA[i]*m.leakTref
+		} else {
+			rhs[n] += leakConst[i]
+		}
+	}
+
+	// TEC sources (Equations (5)-(7)): Peltier terms are linear in the
+	// node temperature and fold into the diagonal; Joule heat is a
+	// constant injection at the gen plane.
+	for i, alpha := range m.tecAlpha {
+		if alpha == 0 {
+			continue
+		}
+		iTEC := cur(i)
+		if iTEC == 0 {
+			continue
+		}
+		// Cold node: p = −α·I·T_c → diag += α·I.
+		b.AddDiag(m.node(planeTECCold, i), alpha*iTEC)
+		// Hot node: p = +α·I·T_h → diag −= α·I.
+		b.AddDiag(m.node(planeTECHot, i), -alpha*iTEC)
+		// Gen node: Joule heat R·I².
+		rhs[m.node(planeTECMid, i)] += m.tecR[i] * iTEC * iTEC
+	}
+
+	mat, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return mat, rhs, nil
+}
+
+// solve runs the sparse solve with a warm start when available.
+func (m *Model) solve(mat *sparse.CSR, rhs, warm []float64) ([]float64, sparse.Stats, error) {
+	opts := sparse.SolveOptions{Tol: 1e-9, MaxIter: 20 * m.n, X0: warm}
+	return sparse.SolveAuto(mat, rhs, opts)
+}
+
+// Evaluate computes the steady state at the operating point (ω, I_TEC)
+// using the Taylor-linearized leakage folded into the linear system —
+// constraint (14) as one sparse solve. A runaway steady state (divergent,
+// non-physical, or hotter than the runaway threshold) is reported in
+// Result.Runaway with infinite temperature/power figures rather than as an
+// error, matching the paper's description of 𝒫 and 𝒯 tending to infinity.
+func (m *Model) Evaluate(omega, iTEC float64) (*Result, error) {
+	if err := m.checkOperatingPoint(omega, iTEC); err != nil {
+		return nil, err
+	}
+	mat, rhs, err := m.assemble(omega, m.uniformCurrent(iTEC), true, nil)
+	if err != nil {
+		return nil, err
+	}
+	warm := make([]float64, m.n)
+	sparse.Fill(warm, m.cfg.Ambient)
+	t, stats, err := m.solve(mat, rhs, warm)
+	if err != nil || !m.physical(t) {
+		return m.runawayResult(omega, iTEC, stats), nil
+	}
+	res := m.buildResult(omega, iTEC, t, stats, true)
+	if res.MaxChipTemp > m.cfg.runawayTemp() {
+		return m.runawayResult(omega, iTEC, stats), nil
+	}
+	return res, nil
+}
+
+// EvaluateExact computes the steady state using the exact exponential
+// leakage model via fixed-point iteration (the paper's "iteratively
+// calculate ... until the process converges"). Divergence is thermal
+// runaway, reported in Result.Runaway.
+func (m *Model) EvaluateExact(omega, iTEC float64) (*Result, error) {
+	if err := m.checkOperatingPoint(omega, iTEC); err != nil {
+		return nil, err
+	}
+	nc := m.grids[planeChip].NumCells()
+	leak := make([]float64, nc)
+	tChip := make([]float64, nc)
+	for i := range tChip {
+		tChip[i] = m.cfg.Ambient
+	}
+	var t []float64
+	var stats sparse.Stats
+
+	const maxOuter = 60
+	for outer := 0; outer < maxOuter; outer++ {
+		for i := range leak {
+			leak[i] = m.leakP0[i] * math.Exp(m.leakBeta*(tChip[i]-m.leakT0))
+		}
+		mat, rhs, err := m.assemble(omega, m.uniformCurrent(iTEC), false, leak)
+		if err != nil {
+			return nil, err
+		}
+		var solveErr error
+		t, stats, solveErr = m.solve(mat, rhs, t)
+		if solveErr != nil || !m.physical(t) {
+			return m.runawayResult(omega, iTEC, stats), nil
+		}
+		var maxDelta, maxT float64
+		for i := 0; i < nc; i++ {
+			nt := t[m.node(planeChip, i)]
+			if d := math.Abs(nt - tChip[i]); d > maxDelta {
+				maxDelta = d
+			}
+			if nt > maxT {
+				maxT = nt
+			}
+			tChip[i] = nt
+		}
+		if maxT > m.cfg.runawayTemp() {
+			return m.runawayResult(omega, iTEC, stats), nil
+		}
+		if maxDelta < 1e-4 {
+			res := m.buildResult(omega, iTEC, t, stats, false)
+			res.OuterIterations = outer + 1
+			return res, nil
+		}
+	}
+	// No convergence within the budget: treat as runaway.
+	return m.runawayResult(omega, iTEC, stats), nil
+}
+
+func (m *Model) checkOperatingPoint(omega, iTEC float64) error {
+	if math.IsNaN(omega) || math.IsNaN(iTEC) {
+		return fmt.Errorf("thermal: operating point (ω=%g, I=%g) contains NaN", omega, iTEC)
+	}
+	if omega < 0 {
+		return fmt.Errorf("thermal: fan speed ω=%g must be non-negative", omega)
+	}
+	if iTEC < 0 {
+		return fmt.Errorf("thermal: TEC current I=%g must be non-negative", iTEC)
+	}
+	return nil
+}
+
+// physical reports whether the temperature field is physically meaningful.
+func (m *Model) physical(t []float64) bool {
+	if t == nil {
+		return false
+	}
+	for _, v := range t {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,114 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zoning partitions the TEC deployment into independently driven control
+// zones — the natural generalization of the paper's single series string
+// (Section 6.1: "the deployed TECs are connected electrically in series
+// and driven by the same current value"). Splitting the string into a few
+// zones lets the controller concentrate current where the hot spots are;
+// the zoned experiment quantifies the extra savings.
+type Zoning struct {
+	numZones int
+	// zoneOf maps each chip-grid cell to its zone (only meaningful for
+	// TEC-covered cells).
+	zoneOf []int
+}
+
+// NumZones returns the number of control zones.
+func (z *Zoning) NumZones() int { return z.numZones }
+
+// NewZoning builds a zoning from a unit→zone assignment. Every floorplan
+// unit must be assigned; zones must be numbered 0..numZones-1 with every
+// zone used by at least one TEC-covered cell. Cells are assigned to the
+// zone of the unit covering their center.
+func (m *Model) NewZoning(assign map[string]int, numZones int) (*Zoning, error) {
+	if numZones <= 0 {
+		return nil, fmt.Errorf("thermal: zone count %d must be positive", numZones)
+	}
+	fp := m.cfg.Floorplan
+	for _, u := range fp.Units() {
+		zone, ok := assign[u.Name]
+		if !ok {
+			return nil, fmt.Errorf("thermal: unit %q has no zone assignment", u.Name)
+		}
+		if zone < 0 || zone >= numZones {
+			return nil, fmt.Errorf("thermal: unit %q assigned to zone %d outside [0, %d)", u.Name, zone, numZones)
+		}
+	}
+	for name := range assign {
+		if _, ok := fp.Unit(name); !ok {
+			return nil, fmt.Errorf("thermal: zone assignment references unknown unit %q", name)
+		}
+	}
+
+	chip := m.grids[planeChip]
+	z := &Zoning{numZones: numZones, zoneOf: make([]int, chip.NumCells())}
+	used := make([]bool, numZones)
+	for i := 0; i < chip.NumCells(); i++ {
+		r, c := chip.RowCol(i)
+		x, y := chip.CellCenter(r, c)
+		u, ok := fp.UnitAt(x, y)
+		if !ok {
+			return nil, fmt.Errorf("thermal: chip cell %d center outside the floorplan", i)
+		}
+		z.zoneOf[i] = assign[u.Name]
+		if m.tecAlpha[i] != 0 {
+			used[z.zoneOf[i]] = true
+		}
+	}
+	for zone, ok := range used {
+		if !ok {
+			return nil, fmt.Errorf("thermal: zone %d contains no TEC modules", zone)
+		}
+	}
+	return z, nil
+}
+
+// EvaluateZoned computes the steady state with one driving current per
+// zone (linearized leakage, like Evaluate). The result's ITEC field holds
+// the maximum zone current; per-zone accounting is in the returned value's
+// PTEC as usual.
+func (m *Model) EvaluateZoned(omega float64, z *Zoning, currents []float64) (*Result, error) {
+	if z == nil {
+		return nil, fmt.Errorf("thermal: nil zoning")
+	}
+	if len(currents) != z.numZones {
+		return nil, fmt.Errorf("thermal: %d currents for %d zones", len(currents), z.numZones)
+	}
+	maxCur := 0.0
+	for zone, c := range currents {
+		if c < 0 || math.IsNaN(c) {
+			return nil, fmt.Errorf("thermal: zone %d current %g must be non-negative", zone, c)
+		}
+		maxCur = math.Max(maxCur, c)
+	}
+	if err := m.checkOperatingPoint(omega, maxCur); err != nil {
+		return nil, err
+	}
+
+	cur := func(cell int) float64 { return currents[z.zoneOf[cell]] }
+	mat, rhs, err := m.assemble(omega, cur, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	warm := make([]float64, m.n)
+	for i := range warm {
+		warm[i] = m.cfg.Ambient
+	}
+	t, stats, err := m.solve(mat, rhs, warm)
+	if err != nil || !m.physical(t) {
+		return m.runawayResult(omega, maxCur, stats), nil
+	}
+	res := m.buildResult(omega, maxCur, t, stats, true)
+	// buildResult computed PTEC with the uniform maxCur; redo with the
+	// per-zone currents.
+	res.PTEC = m.tecPowerFunc(t, cur)
+	if res.MaxChipTemp > m.cfg.runawayTemp() {
+		return m.runawayResult(omega, maxCur, stats), nil
+	}
+	return res, nil
+}

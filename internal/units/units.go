@@ -1,0 +1,71 @@
+// Package units provides physical constants, unit conversions, and numeric
+// tolerances shared by the thermal and optimization packages.
+//
+// All internal computation uses SI units: kelvin for temperature, watts for
+// power, rad/s for angular speed, meters for length, W/K for thermal
+// conductance. Helpers convert to/from the units the paper reports
+// (degrees Celsius, RPM, millimeters).
+package units
+
+import "math"
+
+// Physical constants and conversion factors.
+const (
+	// ZeroCelsius is 0 degrees Celsius expressed in kelvin.
+	ZeroCelsius = 273.15
+
+	// RadPerSecPerRPM converts revolutions per minute to radians per second.
+	RadPerSecPerRPM = 2 * math.Pi / 60
+)
+
+// CToK converts a temperature from degrees Celsius to kelvin.
+func CToK(c float64) float64 { return c + ZeroCelsius }
+
+// KToC converts a temperature from kelvin to degrees Celsius.
+func KToC(k float64) float64 { return k - ZeroCelsius }
+
+// RPMToRadPerSec converts a fan speed from RPM to rad/s.
+func RPMToRadPerSec(rpm float64) float64 { return rpm * RadPerSecPerRPM }
+
+// RadPerSecToRPM converts a fan speed from rad/s to RPM.
+func RadPerSecToRPM(w float64) float64 { return w / RadPerSecPerRPM }
+
+// MM converts millimeters to meters.
+func MM(mm float64) float64 { return mm * 1e-3 }
+
+// Micron converts micrometers to meters.
+func Micron(um float64) float64 { return um * 1e-6 }
+
+// Numeric tolerances used across the repository.
+const (
+	// EpsTemp is the tolerance (kelvin) used when comparing temperatures.
+	EpsTemp = 1e-6
+
+	// EpsPower is the tolerance (watts) used when comparing powers.
+	EpsPower = 1e-9
+
+	// EpsGeom is the tolerance (meters) used when comparing geometry.
+	EpsGeom = 1e-12
+)
+
+// ApproxEqual reports whether a and b differ by no more than tol in
+// absolute terms, or by no more than tol relative to the larger magnitude.
+func ApproxEqual(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*m
+}
+
+// Clamp returns x restricted to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

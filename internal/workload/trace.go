@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"oftec/internal/floorplan"
+	"oftec/internal/power"
+)
+
+// Trace synthesizes a deterministic dynamic-power time series for the
+// benchmark: each functional unit's power oscillates through program
+// phases (a unit-specific blend of two periods), normalized so that the
+// per-unit maximum over the trace equals the benchmark's maximum power
+// map — exactly the reduction the paper feeds to OFTEC. This stands in
+// for running PTscalar over the benchmark's instruction stream.
+func (b Benchmark) Trace(f *floorplan.Floorplan, duration, dt float64) (*power.Trace, error) {
+	if duration <= 0 || dt <= 0 || dt > duration {
+		return nil, fmt.Errorf("workload %s: invalid trace timing (duration %g, dt %g)", b.Name, duration, dt)
+	}
+	peak, err := b.PowerMap(f)
+	if err != nil {
+		return nil, err
+	}
+
+	n := int(duration/dt) + 1
+	// First pass: raw phase waveforms per unit.
+	raw := make([]power.Map, n)
+	maxRaw := make(map[string]float64)
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		m := make(power.Map, len(peak))
+		for u, unitIdx := range unitIndexes(f) {
+			// Two incommensurate phase periods, offset per unit, keep the
+			// waveform deterministic yet unsynchronized across units.
+			p1 := 0.021*float64(unitIdx+3) + 0.013
+			p2 := 0.007*float64(unitIdx+1) + 0.037
+			w := 0.55 + 0.30*math.Cos(2*math.Pi*t/p1+float64(unitIdx)) +
+				0.15*math.Cos(2*math.Pi*t/p2)
+			if w < 0.05 {
+				w = 0.05 // execution never fully idles a clocked unit
+			}
+			m[u] = w
+			if w > maxRaw[u] {
+				maxRaw[u] = w
+			}
+		}
+		raw[i] = m
+	}
+	// Second pass: scale so each unit's maximum equals its peak power.
+	tr := &power.Trace{}
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		m := make(power.Map, len(peak))
+		for u, w := range raw[i] {
+			m[u] = peak[u] * w / maxRaw[u]
+		}
+		if err := tr.Append(t, m); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// unitIndexes maps unit names to stable indexes (insertion order).
+func unitIndexes(f *floorplan.Floorplan) map[string]int {
+	out := make(map[string]int, f.NumUnits())
+	for i, u := range f.Units() {
+		out[u.Name] = i
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"oftec/internal/floorplan"
+)
+
+func TestTraceMaxEqualsPowerMap(t *testing.T) {
+	// The paper's flow: the per-element maximum over the PTscalar trace is
+	// what OFTEC receives. Our synthetic traces must reduce to exactly the
+	// benchmark's power map.
+	f := floorplan.AlphaEV6()
+	for _, name := range []string{"Basicmath", "Quicksort"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := b.Trace(f, 0.5, 0.005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := b.PowerMap(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tr.MaxMap()
+		for unit, p := range want {
+			if math.Abs(got[unit]-p) > 1e-9*(1+p) {
+				t.Errorf("%s/%s: trace max %g, power map %g", name, unit, got[unit], p)
+			}
+		}
+	}
+}
+
+func TestTraceIsDeterministic(t *testing.T) {
+	f := floorplan.AlphaEV6()
+	b, err := ByName("FFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr1, err := b.Trace(f, 0.2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := b.Trace(f, 0.2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Len() != tr2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", tr1.Len(), tr2.Len())
+	}
+	for i := 0; i < tr1.Len(); i++ {
+		tt := float64(i) * 0.01
+		m1, _ := tr1.At(tt)
+		m2, _ := tr2.At(tt)
+		for u, p := range m1 {
+			if m2[u] != p {
+				t.Fatalf("nondeterministic trace at t=%g unit %s: %g vs %g", tt, u, p, m2[u])
+			}
+		}
+	}
+}
+
+func TestTraceVariesOverTime(t *testing.T) {
+	f := floorplan.AlphaEV6()
+	b, err := ByName("Dijkstra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := b.Trace(f, 0.3, 0.003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phases must actually modulate: the time-average must sit clearly
+	// below the peak, and no unit may ever be fully idle.
+	mean, maxm := tr.MeanMap(), tr.MaxMap()
+	for u := range maxm {
+		if mean[u] >= 0.95*maxm[u] {
+			t.Errorf("unit %s barely modulates: mean %g vs max %g", u, mean[u], maxm[u])
+		}
+		if mean[u] <= 0 {
+			t.Errorf("unit %s has non-positive mean power", u)
+		}
+	}
+	// Adjacent units must not be phase-locked (distinct waveforms).
+	m0, _ := tr.At(0.05)
+	m1, _ := tr.At(0.10)
+	changedDifferently := false
+	var prevRatio float64
+	for _, u := range f.Units() {
+		if m0[u.Name] == 0 {
+			continue
+		}
+		ratio := m1[u.Name] / m0[u.Name]
+		if prevRatio != 0 && math.Abs(ratio-prevRatio) > 0.05 {
+			changedDifferently = true
+		}
+		prevRatio = ratio
+	}
+	if !changedDifferently {
+		t.Error("all units move in lockstep; phases are not unit-specific")
+	}
+}
+
+func TestTraceTimingValidation(t *testing.T) {
+	f := floorplan.AlphaEV6()
+	b, err := ByName("CRC32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ dur, dt float64 }{{0, 0.01}, {1, 0}, {0.01, 1}} {
+		if _, err := b.Trace(f, c.dur, c.dt); err == nil {
+			t.Errorf("Trace(%g, %g) accepted", c.dur, c.dt)
+		}
+	}
+}

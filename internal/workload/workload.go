@@ -1,0 +1,197 @@
+// Package workload is the repository's substitute for the PTscalar
+// performance/power simulator: it provides deterministic synthetic
+// maximum-dynamic-power vectors for the eight MiBench benchmarks the paper
+// evaluates, over the Alpha 21264 floorplan.
+//
+// The paper feeds OFTEC the maximum power consumption of each chip-layer
+// element over the benchmark's trace, so a benchmark here reduces to one
+// per-unit power map. Profiles are built from per-unit activity factors
+// (which functional units the benchmark stresses) scaled by a total power
+// budget calibrated so the experimental shape of the paper is reproduced:
+// the three mild benchmarks (Basicmath, CRC32, Stringsearch) are coolable
+// by a plain fan, the five hot ones (BitCount, Dijkstra, FFT, Quicksort,
+// Susan) are not, and the optimum TEC currents order as in Table 2.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"oftec/internal/floorplan"
+	"oftec/internal/power"
+)
+
+// Benchmark is one synthetic MiBench workload.
+type Benchmark struct {
+	// Name is the benchmark name as spelled in the paper's Table 2.
+	Name string
+	// Description summarizes what the real benchmark does and which units
+	// the synthetic profile stresses.
+	Description string
+	// TotalPower is the maximum total dynamic power budget in watts.
+	TotalPower float64
+	// Activity holds relative per-unit activity factors; they are
+	// normalized against unit areas to produce the power map.
+	Activity map[string]float64
+}
+
+// Names of the eight benchmarks, in Table 2 order.
+var Names = []string{
+	"Basicmath", "BitCount", "CRC32", "Dijkstra",
+	"FFT", "Quicksort", "Stringsearch", "Susan",
+}
+
+// activity profiles express how strongly each benchmark exercises each
+// functional unit, relative to that unit's area. A factor of 1 means the
+// unit runs at the benchmark's average power density; larger factors make
+// the unit a hot spot.
+func profiles() map[string]Benchmark {
+	// Shorthand unit names.
+	const (
+		l2l = floorplan.UnitL2Left
+		l2  = floorplan.UnitL2
+		l2r = floorplan.UnitL2Right
+		ic  = floorplan.UnitIcache
+		itb = floorplan.UnitITB
+		dtb = floorplan.UnitDTB
+		lsq = floorplan.UnitLdStQ
+		dc  = floorplan.UnitDcache
+		fpa = floorplan.UnitFPAdd
+		fpm = floorplan.UnitFPMul
+		fpr = floorplan.UnitFPReg
+		fpp = floorplan.UnitFPMap
+		fpq = floorplan.UnitFPQ
+		imp = floorplan.UnitIntMap
+		iq  = floorplan.UnitIntQ
+		ir  = floorplan.UnitIntReg
+		ie  = floorplan.UnitIntExec
+		bp  = floorplan.UnitBpred
+	)
+	// base is a quiet floor so no unit is ever completely cold.
+	base := func() map[string]float64 {
+		return map[string]float64{
+			l2l: 0.25, l2: 0.25, l2r: 0.25,
+			ic: 0.6, itb: 0.5, dtb: 0.5, lsq: 0.8, dc: 0.6,
+			fpa: 0.3, fpm: 0.3, fpr: 0.3, fpp: 0.3, fpq: 0.3,
+			imp: 0.8, iq: 0.8, ir: 1.0, ie: 1.0, bp: 0.7,
+		}
+	}
+	with := func(over map[string]float64) map[string]float64 {
+		m := base()
+		for k, v := range over {
+			m[k] = v
+		}
+		return m
+	}
+
+	list := []Benchmark{
+		{
+			Name:        "Basicmath",
+			Description: "scalar math kernels: moderate integer/FP mix, modest hot spots",
+			TotalPower:  24,
+			Activity:    with(map[string]float64{fpa: 2.2, fpm: 2.0, fpr: 1.4, ir: 2.2, ie: 2.2}),
+		},
+		{
+			Name:        "BitCount",
+			Description: "bit-twiddling loops: intense integer execution and register traffic",
+			TotalPower:  40,
+			Activity:    with(map[string]float64{ir: 7.5, ie: 8.0, iq: 3.5, imp: 3.0, bp: 2.5, ic: 0.9}),
+		},
+		{
+			Name:        "CRC32",
+			Description: "streaming table lookups: memory-bound, low core activity",
+			TotalPower:  18,
+			Activity:    with(map[string]float64{dc: 1.1, lsq: 1.3, ir: 1.2, ie: 1.2, l2: 0.5}),
+		},
+		{
+			Name:        "Dijkstra",
+			Description: "graph shortest path: pointer chasing, queues and load/store pressure",
+			TotalPower:  42,
+			Activity:    with(map[string]float64{ir: 6.5, ie: 6.5, lsq: 5.5, iq: 4.5, dc: 1.8, dtb: 3.0}),
+		},
+		{
+			Name:        "FFT",
+			Description: "floating-point butterflies: FP multiplier and adder dominate",
+			TotalPower:  38,
+			Activity:    with(map[string]float64{fpm: 8.5, fpa: 7.0, fpr: 5.0, fpq: 3.5, ir: 2.0, ie: 2.0}),
+		},
+		{
+			Name:        "Quicksort",
+			Description: "recursive sorting: the hottest integer core of the suite",
+			TotalPower:  42,
+			Activity:    with(map[string]float64{ir: 8.0, ie: 8.5, iq: 4.0, imp: 3.5, lsq: 3.5, bp: 3.0}),
+		},
+		{
+			Name:        "Stringsearch",
+			Description: "string matching: branchy integer code with light load",
+			TotalPower:  21,
+			Activity:    with(map[string]float64{ir: 2.0, ie: 2.0, bp: 1.8, ic: 0.9, dc: 0.8}),
+		},
+		{
+			Name:        "Susan",
+			Description: "image smoothing/edge detection: mixed int/FP with strong hot spots",
+			TotalPower:  43,
+			Activity:    with(map[string]float64{ir: 7.0, ie: 7.5, fpm: 5.0, fpa: 3.8, lsq: 3.2, dc: 1.5}),
+		},
+	}
+	m := make(map[string]Benchmark, len(list))
+	for _, b := range list {
+		m[b.Name] = b
+	}
+	return m
+}
+
+// All returns the eight benchmarks in Table 2 order.
+func All() []Benchmark {
+	p := profiles()
+	out := make([]Benchmark, 0, len(Names))
+	for _, n := range Names {
+		out = append(out, p[n])
+	}
+	return out
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, error) {
+	b, ok := profiles()[name]
+	if !ok {
+		known := make([]string, 0, len(Names))
+		known = append(known, Names...)
+		sort.Strings(known)
+		return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q (known: %v)", name, known)
+	}
+	return b, nil
+}
+
+// MildBenchmarks are the three benchmarks the paper's baselines can cool
+// (Figure 6(c)): the comparisons of Section 6.2 are made on these.
+var MildBenchmarks = []string{"Basicmath", "CRC32", "Stringsearch"}
+
+// HotBenchmarks are the five benchmarks on which the baselines exceed
+// T_max in the paper.
+var HotBenchmarks = []string{"BitCount", "Dijkstra", "FFT", "Quicksort", "Susan"}
+
+// PowerMap converts the benchmark's activity profile into a per-unit power
+// map over the given floorplan. Unit power is proportional to
+// activity × area, normalized so the map totals TotalPower.
+func (b Benchmark) PowerMap(f *floorplan.Floorplan) (power.Map, error) {
+	var weight float64
+	for _, u := range f.Units() {
+		a, ok := b.Activity[u.Name]
+		if !ok {
+			return nil, fmt.Errorf("workload %s: no activity factor for unit %q", b.Name, u.Name)
+		}
+		if a < 0 {
+			return nil, fmt.Errorf("workload %s: negative activity %g for unit %q", b.Name, a, u.Name)
+		}
+		weight += a * u.Rect.Area()
+	}
+	if weight <= 0 {
+		return nil, fmt.Errorf("workload %s: zero total activity", b.Name)
+	}
+	m := make(power.Map, f.NumUnits())
+	for _, u := range f.Units() {
+		m[u.Name] = b.TotalPower * b.Activity[u.Name] * u.Rect.Area() / weight
+	}
+	return m, nil
+}

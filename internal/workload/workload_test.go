@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"oftec/internal/floorplan"
+)
+
+func TestAllReturnsEightInTableOrder(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("got %d benchmarks, want 8", len(all))
+	}
+	for i, b := range all {
+		if b.Name != Names[i] {
+			t.Errorf("position %d: %s, want %s", i, b.Name, Names[i])
+		}
+		if b.TotalPower <= 0 {
+			t.Errorf("%s: non-positive power budget", b.Name)
+		}
+		if b.Description == "" {
+			t.Errorf("%s: missing description", b.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("Quicksort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "Quicksort" {
+		t.Errorf("ByName returned %s", b.Name)
+	}
+	if _, err := ByName("NotABenchmark"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := ByName("quicksort"); err == nil {
+		t.Error("lookup should be case-sensitive like Table 2 spelling")
+	}
+}
+
+func TestMildHotPartition(t *testing.T) {
+	if len(MildBenchmarks)+len(HotBenchmarks) != 8 {
+		t.Fatalf("partition covers %d benchmarks, want 8",
+			len(MildBenchmarks)+len(HotBenchmarks))
+	}
+	seen := map[string]bool{}
+	for _, n := range append(append([]string{}, MildBenchmarks...), HotBenchmarks...) {
+		if seen[n] {
+			t.Errorf("benchmark %s in both partitions", n)
+		}
+		seen[n] = true
+		if _, err := ByName(n); err != nil {
+			t.Errorf("partition references unknown benchmark %s", n)
+		}
+	}
+	// Every hot benchmark must have a larger power budget than every mild
+	// one — the physical basis of the feasibility split in Figure 6(c).
+	minHot, maxMild := math.Inf(1), 0.0
+	for _, n := range HotBenchmarks {
+		b, _ := ByName(n)
+		minHot = math.Min(minHot, b.TotalPower)
+	}
+	for _, n := range MildBenchmarks {
+		b, _ := ByName(n)
+		maxMild = math.Max(maxMild, b.TotalPower)
+	}
+	if minHot <= maxMild {
+		t.Errorf("hot minimum %g W does not exceed mild maximum %g W", minHot, maxMild)
+	}
+}
+
+func TestPowerMapConservesBudget(t *testing.T) {
+	f := floorplan.AlphaEV6()
+	for _, b := range All() {
+		m, err := b.PowerMap(f)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := m.Validate(f); err != nil {
+			t.Errorf("%s: invalid map: %v", b.Name, err)
+		}
+		if math.Abs(m.Total()-b.TotalPower) > 1e-9*b.TotalPower {
+			t.Errorf("%s: map total %g, want %g", b.Name, m.Total(), b.TotalPower)
+		}
+	}
+}
+
+func TestHotSpotStructure(t *testing.T) {
+	f := floorplan.AlphaEV6()
+	// Integer benchmarks must be hottest in the integer cluster; FFT in
+	// the FP multiplier; caches must never be the peak.
+	expectPeak := map[string][]string{
+		"Quicksort": {floorplan.UnitIntExec, floorplan.UnitIntReg},
+		"BitCount":  {floorplan.UnitIntExec, floorplan.UnitIntReg},
+		"FFT":       {floorplan.UnitFPMul},
+	}
+	for name, allowed := range expectPeak {
+		b, _ := ByName(name)
+		m, err := b.PowerMap(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peak, _ := m.MaxDensity(f)
+		ok := false
+		for _, a := range allowed {
+			if peak == a {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: peak density in %s, want one of %v", name, peak, allowed)
+		}
+	}
+	// The caches show no hot spots (the paper's justification for leaving
+	// them uncovered by TECs).
+	for _, b := range All() {
+		m, _ := b.PowerMap(f)
+		peak, _ := m.MaxDensity(f)
+		if strings.Contains(peak, "cache") || peak == floorplan.UnitIcache || peak == floorplan.UnitDcache {
+			t.Errorf("%s: peak density in cache unit %s", b.Name, peak)
+		}
+	}
+}
+
+func TestOrderingMatchesTable2Tendency(t *testing.T) {
+	// The paper's Table 2 shows CRC32 needing the least cooling (I* =
+	// 0.37 A) and Quicksort the most (I* = 2.83 A). The quantity that
+	// drives the required TEC current is the peak power density.
+	f := floorplan.AlphaEV6()
+	density := func(name string) float64 {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := b.PowerMap(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, d := m.MaxDensity(f)
+		return d
+	}
+	crc, qs := density("CRC32"), density("Quicksort")
+	for _, b := range All() {
+		d := density(b.Name)
+		if b.Name != "CRC32" && d < crc {
+			t.Errorf("%s peak density %g below CRC32's %g", b.Name, d, crc)
+		}
+		if b.Name != "Quicksort" && d > qs {
+			t.Errorf("%s peak density %g above Quicksort's %g", b.Name, d, qs)
+		}
+	}
+}
+
+func TestPowerMapMissingUnit(t *testing.T) {
+	f, _ := floorplan.New(1e-3, 1e-3)
+	if err := f.AddUnit("odd", floorplan.Rect{W: 1e-3, H: 1e-3}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ByName("FFT")
+	if _, err := b.PowerMap(f); err == nil {
+		t.Error("PowerMap accepted a floorplan with unknown units")
+	}
+}
