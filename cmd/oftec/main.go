@@ -108,7 +108,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	b, _ := workload.ByName(*bench)
+	b, err := workload.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
 	m := sys.Model()
 	fmt.Printf("benchmark    %s — %s\n", b.Name, b.Description)
 	fmt.Printf("model        %d nodes, %d TEC modules, %.1f W dynamic power\n",

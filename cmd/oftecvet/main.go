@@ -1,0 +1,157 @@
+// Command oftecvet runs the project's static-analysis suite (internal/lint)
+// over the module: floatcmp, errdrop, mutexcopy, unitsuffix, nonfinite.
+// It is stdlib-only and meant to gate CI next to go vet:
+//
+//	go run ./cmd/oftecvet ./...
+//
+// Arguments are package patterns relative to the module root: "./..."
+// (or no argument) selects every package; "./internal/solver/..." selects
+// a subtree; "./internal/solver" selects one package. Test files are not
+// analyzed. Exit status: 0 clean, 1 findings, 2 usage or load error.
+//
+// Findings are suppressed with a trailing or preceding-line comment:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"oftec/internal/lint"
+)
+
+func main() {
+	analyzerFlag := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	dirFlag := flag.String("dir", "", "analyze a single directory as one package instead of the module (e.g. a lint fixture)")
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: oftecvet [-analyzers a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *analyzerFlag != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(*analyzerFlag, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oftecvet:", err)
+			os.Exit(2)
+		}
+	}
+
+	var selected []*lint.Package
+	if *dirFlag != "" {
+		// Single-directory mode: analyze one package (stdlib imports
+		// only), e.g. a fixture under internal/lint/testdata.
+		pkg, err := lint.LoadDir(*dirFlag, "fixture/"+filepath.Base(*dirFlag))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oftecvet:", err)
+			os.Exit(2)
+		}
+		selected = []*lint.Package{pkg}
+	} else {
+		root, err := moduleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oftecvet:", err)
+			os.Exit(2)
+		}
+		pkgs, err := lint.LoadModule(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oftecvet:", err)
+			os.Exit(2)
+		}
+
+		patterns := flag.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		modPath, err := lint.ModulePath(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oftecvet:", err)
+			os.Exit(2)
+		}
+		for _, p := range pkgs {
+			if matchesAny(p.Path, modPath, patterns) {
+				selected = append(selected, p)
+			}
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "oftecvet: no packages match %v\n", patterns)
+			os.Exit(2)
+		}
+	}
+
+	diags := lint.Run(selected, analyzers)
+	cwd, err := os.Getwd()
+	if err != nil {
+		cwd = "" // fall back to absolute paths
+	}
+	for _, d := range diags {
+		// Report paths relative to the working directory, as go vet does.
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "oftecvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// matchesAny reports whether import path ip matches any go-style package
+// pattern ("./...", "./internal/solver", "oftec/internal/...").
+func matchesAny(ip, modPath string, patterns []string) bool {
+	for _, pat := range patterns {
+		pat = strings.TrimSuffix(pat, "/")
+		// Normalize "./x" forms against the module path.
+		if pat == "." || pat == "./..." {
+			return true
+		}
+		if rest, ok := strings.CutPrefix(pat, "./"); ok {
+			pat = modPath + "/" + rest
+		}
+		if suffix, ok := strings.CutSuffix(pat, "/..."); ok {
+			if ip == suffix || strings.HasPrefix(ip, suffix+"/") {
+				return true
+			}
+			continue
+		}
+		if ip == pat {
+			return true
+		}
+	}
+	return false
+}

@@ -226,7 +226,7 @@ func NewLUT(entries []LUTEntry) (*LUT, error) {
 	sorted := append([]LUTEntry(nil), entries...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TotalPower < sorted[j].TotalPower })
 	for i := 1; i < len(sorted); i++ {
-		if sorted[i].TotalPower == sorted[i-1].TotalPower {
+		if units.ApproxEqual(sorted[i].TotalPower, sorted[i-1].TotalPower, units.EpsPower) {
 			return nil, fmt.Errorf("controller: duplicate LUT power level %g", sorted[i].TotalPower)
 		}
 	}

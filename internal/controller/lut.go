@@ -29,7 +29,9 @@ func BuildLUT(sys *core.System, base power.Map, totalPowers []float64, opts core
 	model := sys.Model()
 	originalCells := base.Clone()
 	defer func() {
-		// Restore the model's original workload regardless of outcome.
+		// Restore the model's original workload regardless of outcome; the
+		// clone was accepted once, so a second Set cannot newly fail.
+		//lint:ignore errdrop restore-on-defer of an already-validated map
 		_ = model.SetDynamicPower(originalCells)
 	}()
 

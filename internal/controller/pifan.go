@@ -60,7 +60,7 @@ func (c *PIFan) Act(t, maxChipTemp float64) (float64, float64) {
 
 	omega := c.Kp*err + c.Ki*c.integral
 	clamped := units.Clamp(omega, c.OmegaMin, c.OmegaMax)
-	if clamped != omega && c.Ki > 0 {
+	if (omega < c.OmegaMin || omega > c.OmegaMax) && c.Ki > 0 {
 		// Anti-windup: bleed the integral so the command sits at the rail.
 		c.integral = (clamped - c.Kp*err) / c.Ki
 	}

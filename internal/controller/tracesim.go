@@ -41,6 +41,7 @@ func TraceSimulate(m *thermal.Model, ctrl Controller, tr *power.Trace, duration,
 	}
 	// The model's workload is left at the trace's first sample on return
 	// (the per-unit input cannot be read back out of the model).
+	//lint:ignore errdrop restore-on-defer of a sample the model accepted
 	defer func() { _ = m.SetDynamicPower(first) }()
 
 	if err := m.SetDynamicPower(first); err != nil {
@@ -122,7 +123,10 @@ type Summary struct {
 	TECTransitions int
 }
 
-// Summarize reduces a detailed trace against a thermal limit (°C).
+// Summarize reduces a detailed trace against a thermal limit (°C). The
+// limit is taken in Celsius on purpose: the summary mirrors the °C
+// figures the paper reports, alongside TracePoint.MaxTempC.
+//lint:ignore unitsuffix reporting API mirrors the paper's °C figures
 func Summarize(trace []DetailPoint, tMaxC float64) Summary {
 	var s Summary
 	if len(trace) == 0 {

@@ -155,7 +155,6 @@ func TestCoupleVerticalMismatchedGrids(t *testing.T) {
 		if vc.G <= 0 {
 			t.Errorf("non-positive conductance %g", vc.G)
 		}
-		_ = vc
 	}
 	// Recompute overlap directly.
 	for r := 0; r < chip.Rows; r++ {

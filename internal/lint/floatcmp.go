@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+)
+
+// FloatCmpAnalyzer flags exact equality between floating-point values.
+//
+// Temperatures, powers, and geometry must be compared through
+// units.ApproxEqual with the EpsTemp/EpsPower/EpsGeom tolerances; a raw
+// == or != on float64 silently depends on bit-exact arithmetic. Two
+// exemptions keep the signal clean: comparisons against a constant zero
+// (the idiomatic exact guard before dividing, e.g. `if den == 0`), and
+// the internal/units package itself, which implements the tolerance
+// helpers.
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!=/switch on float64 values outside internal/units",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path, "internal/units") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !pass.IsFloat(n.X) || !pass.IsFloat(n.Y) {
+					return true
+				}
+				if isZeroConst(pass, n.X) || isZeroConst(pass, n.Y) {
+					return true
+				}
+				pass.Reportf(n.OpPos, "float comparison with %s; use units.ApproxEqual with an Eps* tolerance", n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag != nil && pass.IsFloat(n.Tag) {
+					pass.Reportf(n.Switch, "switch on float value compares with ==; use units.ApproxEqual with an Eps* tolerance")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero.
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}

@@ -1,0 +1,233 @@
+// Package lint is a project-specific static-analysis framework built only
+// on the standard library (go/ast, go/parser, go/types, go/token,
+// go/importer). It exists because this reproduction's correctness rests on
+// invariants the Go compiler cannot check: all physics is carried in SI
+// units, float comparisons must go through the internal/units tolerances,
+// solver errors must never be silently dropped, and the mutex-guarded
+// evaluation caches must not be copied.
+//
+// The framework deliberately mirrors the shape of golang.org/x/tools'
+// analysis API (Analyzer, Pass, Diagnostic) without importing it, so the
+// module keeps an empty dependency graph. cmd/oftecvet is the driver.
+//
+// Findings can be suppressed with a directive comment on the same line as
+// the offending code or on the line immediately above it:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a bare directive is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is a single finding, printed as "file:line:col: [name] msg".
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the canonical driver format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer guards.
+	Doc string
+	// Run inspects a type-checked package and reports findings via pass.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// IsFloat reports whether the expression has floating-point type
+// (after unwrapping named types).
+func (p *Pass) IsFloat(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// Callee resolves a call expression to the function or method object it
+// invokes, or nil for indirect calls and conversions.
+func (p *Pass) Callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := p.Pkg.Info.Uses[id].(*types.Func)
+	return f
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers map[string]bool // analyzer names, or {"all": true}
+	hasReason bool
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseIgnores extracts every //lint:ignore directive from a file.
+func parseIgnores(fset *token.FileSet, f *ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+			fields := strings.Fields(rest)
+			d := ignoreDirective{pos: fset.Position(c.Pos()), analyzers: map[string]bool{}}
+			if len(fields) > 0 {
+				for _, name := range strings.Split(fields[0], ",") {
+					d.analyzers[name] = true
+				}
+				d.hasReason = len(fields) > 1
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run executes every analyzer over every package, applies the ignore
+// directives, and returns the surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+	}
+
+	// Collect directives: file -> line -> analyzer set.
+	type key struct {
+		file string
+		line int
+	}
+	ignores := map[key]map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range parseIgnores(pkg.Fset, f) {
+				if !d.hasReason || len(d.analyzers) == 0 {
+					diags = append(diags, Diagnostic{
+						Pos:      d.pos,
+						Analyzer: "lint",
+						Message:  "malformed //lint:ignore directive: want //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				k := key{d.pos.Filename, d.pos.Line}
+				if ignores[k] == nil {
+					ignores[k] = map[string]bool{}
+				}
+				for name := range d.analyzers {
+					ignores[k][name] = true
+				}
+			}
+		}
+	}
+
+	suppressed := func(d Diagnostic) bool {
+		// A directive suppresses findings on its own line (trailing
+		// comment) and on the line below it (standalone comment).
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			if set, ok := ignores[key{d.Pos.Filename, line}]; ok {
+				if set[d.Analyzer] || set["all"] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FloatCmpAnalyzer,
+		ErrDropAnalyzer,
+		MutexCopyAnalyzer,
+		UnitSuffixAnalyzer,
+		NonFiniteAnalyzer,
+	}
+}
+
+// ByName returns the named analyzers, in the order given.
+func ByName(names []string) ([]*Analyzer, error) {
+	index := map[string]*Analyzer{}
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := index[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopyAnalyzer flags copies of mutex-bearing structs.
+//
+// core.System and the zoned evaluation cache guard their maps with a
+// sync.Mutex; copying such a struct forks the lock from the state it
+// protects, so the copy's lock guards nothing. The analyzer reports
+// value receivers, by-value parameters and results, and range clauses
+// whose iteration variable copies a struct that (transitively, through
+// embedded or nested struct fields) contains a sync.Mutex or
+// sync.RWMutex. Pointers, slices, and maps break the containment chain —
+// sharing is the fix, and shared access is what the lock is for.
+var MutexCopyAnalyzer = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "flags by-value passing/returning/ranging of structs containing sync.Mutex",
+	Run:  runMutexCopy,
+}
+
+func runMutexCopy(pass *Pass) {
+	memo := map[types.Type]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(pass, n, memo)
+			case *ast.RangeStmt:
+				checkRangeCopy(pass, n, memo)
+			}
+			return true
+		})
+	}
+}
+
+func checkFuncSig(pass *Pass, fd *ast.FuncDecl, memo map[types.Type]bool) {
+	report := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if t == nil || !containsMutex(t, memo) {
+				continue
+			}
+			pass.Reportf(field.Type.Pos(), "%s %s copies %s, which contains a sync mutex; use a pointer", fd.Name.Name, what, types.TypeString(t, types.RelativeTo(pass.Pkg.Types)))
+		}
+	}
+	if fd.Recv != nil {
+		report(fd.Recv, "has a value receiver that")
+	}
+	report(fd.Type.Params, "takes a parameter that")
+	report(fd.Type.Results, "returns a value that")
+}
+
+func checkRangeCopy(pass *Pass, n *ast.RangeStmt, memo map[types.Type]bool) {
+	for _, v := range []ast.Expr{n.Key, n.Value} {
+		if v == nil || isBlank(v) {
+			continue
+		}
+		t := pass.TypeOf(v)
+		if t != nil && containsMutex(t, memo) {
+			pass.Reportf(v.Pos(), "range copies %s, which contains a sync mutex; range over indices or pointers", types.TypeString(t, types.RelativeTo(pass.Pkg.Types)))
+		}
+	}
+}
+
+// containsMutex reports whether t is, or is a struct transitively
+// holding by value, a sync.Mutex or sync.RWMutex.
+func containsMutex(t types.Type, memo map[types.Type]bool) bool {
+	if v, ok := memo[t]; ok {
+		return v
+	}
+	memo[t] = false // break cycles; structs cannot actually recurse by value
+	result := false
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			result = true
+		} else {
+			result = containsMutex(u.Underlying(), memo)
+		}
+	case *types.Alias:
+		result = containsMutex(types.Unalias(t), memo)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutex(u.Field(i).Type(), memo) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = containsMutex(u.Elem(), memo)
+	}
+	memo[t] = result
+	return result
+}

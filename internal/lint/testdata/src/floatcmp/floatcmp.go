@@ -1,0 +1,49 @@
+// Package floatcmp is a fixture: positive and negative cases for the
+// floatcmp analyzer.
+package floatcmp
+
+type Temp float64
+
+func positives(a, b float64, t Temp) bool {
+	if a == b { // want: float comparison with ==
+		return true
+	}
+	if a != 1.5 { // want: nonzero constant is still flagged
+		return true
+	}
+	if t == Temp(b) { // want: named float types are flagged
+		return true
+	}
+	switch a { // want: switch on float
+	case 1.0:
+		return true
+	}
+	return false
+}
+
+func negatives(a, b float64, i, j int, s string) bool {
+	if a == 0 { // exact-zero guard is allowed
+		return true
+	}
+	if 0.0 != b { // either side may be the zero constant
+		return true
+	}
+	if i == j { // ints are fine
+		return true
+	}
+	if s == "x" { // strings are fine
+		return true
+	}
+	if a < b || a >= b { // ordered comparisons are fine
+		return true
+	}
+	return false
+}
+
+func ignored(a, b float64) bool {
+	//lint:ignore floatcmp fixture demonstrates suppression
+	if a == b {
+		return true
+	}
+	return a != b //lint:ignore floatcmp trailing directive also suppresses
+}

@@ -1,0 +1,24 @@
+// Package ignore is a fixture for the directive machinery itself:
+// malformed directives are findings, "all" suppresses every analyzer,
+// and a directive for one analyzer does not silence another.
+package ignore
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+//lint:ignore
+func malformedNoAnalyzer() {} // want: directive without analyzer or reason
+
+//lint:ignore errdrop
+func malformedNoReason() {} // want: directive without a reason
+
+func suppressAll(a, b float64) {
+	//lint:ignore all fixture demonstrates blanket suppression
+	_ = mayFail()
+}
+
+func wrongAnalyzer(a, b float64) bool {
+	//lint:ignore errdrop directive names the wrong analyzer
+	return a == b // want: floatcmp still fires
+}

@@ -1,0 +1,59 @@
+// Package mutexcopy is a fixture: positive and negative cases for the
+// mutexcopy analyzer.
+package mutexcopy
+
+import "sync"
+
+type Guarded struct {
+	mu    sync.Mutex
+	count int
+}
+
+type Nested struct { // mutex reached through a nested struct field
+	inner Guarded
+}
+
+type RW struct {
+	mu sync.RWMutex
+}
+
+type Plain struct {
+	count int
+}
+
+func ByValue(g Guarded) int { return g.count }       // want: by-value parameter
+
+func Return() Guarded { return Guarded{} }           // want: by-value result
+
+func NestedByValue(n Nested) {}                      // want: nested containment
+
+func RWByValue(r RW) {}                              // want: RWMutex counts too
+
+func (g Guarded) ValueReceiver() int { return g.count } // want: value receiver
+
+func RangeCopy(gs []Guarded) {
+	for _, g := range gs { // want: range copies the struct
+		_ = g.count
+	}
+}
+
+func ByPointer(g *Guarded) int { return g.count } // pointer is fine
+
+func (g *Guarded) PointerReceiver() {} // pointer receiver is fine
+
+func RangePointers(gs []*Guarded) {
+	for _, g := range gs { // copying a pointer is fine
+		_ = g.count
+	}
+}
+
+func RangeIndex(gs []Guarded) {
+	for i := range gs { // index iteration is fine
+		_ = gs[i].count
+	}
+}
+
+func PlainByValue(p Plain) int { return p.count } // no mutex, fine
+
+//lint:ignore mutexcopy fixture demonstrates suppression
+func IgnoredByValue(g Guarded) int { return g.count }

@@ -1,0 +1,44 @@
+// Package nonfinite is a fixture: positive and negative cases for the
+// nonfinite analyzer. The test loads it once under an
+// oftec/internal/solver import path (in scope, findings expected) and
+// once under a non-kernel path (out of scope, no findings).
+package nonfinite
+
+import "math"
+
+func Ratio(a, b float64) float64 { // want: unguarded division
+	return a / b
+}
+
+func Boltzmann(e, kT float64) float64 { // want: unguarded math.Exp
+	return math.Exp(-e / kT)
+}
+
+func Entropy(p float64) float64 { // want: unguarded math.Log
+	return -p * math.Log(p)
+}
+
+func GuardedRatio(a, b float64) float64 { // guard present, fine
+	r := a / b
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return 0
+	}
+	return r
+}
+
+func Scaled(a float64) float64 { // no division, no transcendental, fine
+	return 3 * a
+}
+
+func unexportedRatio(a, b float64) float64 { // unexported, out of scope
+	return a / b
+}
+
+func IntDiv(a, b int) int { // integer division cannot go non-finite
+	return a / b
+}
+
+//lint:ignore nonfinite fixture demonstrates suppression
+func IgnoredRatio(a, b float64) float64 {
+	return a / b
+}

@@ -1,0 +1,31 @@
+// Package unitsuffix is a fixture: positive and negative cases for the
+// unitsuffix analyzer. When loaded under an .../internal/units import
+// path the whole file must produce no findings.
+package unitsuffix
+
+func SetTemp(tempC float64) {} // want: Celsius-suffixed parameter
+
+func FanSpeed(speedRPM float64) {} // want: RPM-suffixed parameter
+
+func Width() (widthMM float64) { return 0 } // want: MM-suffixed named result
+
+func Limit(tMaxC float64, samples []float64) {} // want: camelCase C suffix
+
+func Bare(rpm float64) {} // want: the bare unit name matches too
+
+func Celsius2K(celsius float64) float64 { return celsius + 273.15 } // want: full-word suffix
+
+func unexported(tempC float64) {} // unexported functions are out of scope
+
+func Kelvin(tempK float64) {} // SI suffix is fine
+
+func Describe(metricC string) {} // non-float params are out of scope
+
+func Vec(vec []float64) {} // "Vec" does not end in a unit suffix ("c" is lowercase)
+
+func Disc(disc float64) {} // likewise "Disc"
+
+func Count(numC int) {} // int named numC is out of scope (not float)
+
+//lint:ignore unitsuffix fixture demonstrates suppression
+func Ignored(tempC float64) {}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// UnitSuffixAnalyzer enforces the SI-at-the-boundary convention.
+//
+// All internal computation is in SI units (kelvin, watts, rad/s, meters);
+// only internal/units converts to and from the units the paper reports.
+// An exported function whose float parameter or result is named tempC,
+// speedRPM, or widthMM advertises a non-SI contract, so every caller must
+// remember a conversion the type system cannot check. The analyzer flags
+// float-typed parameters and results of exported functions whose names
+// end in a non-SI unit suffix (RPM, Celsius, C, MM), except inside
+// internal/units itself, where such names are the conversion helpers'
+// job. Deliberately non-SI reporting APIs must be annotated with
+// //lint:ignore unitsuffix <reason>.
+var UnitSuffixAnalyzer = &Analyzer{
+	Name: "unitsuffix",
+	Doc:  "flags exported float params/results named with non-SI unit suffixes",
+	Run:  runUnitSuffix,
+}
+
+var nonSISuffixes = []string{"Celsius", "RPM", "MM", "C"}
+
+func runUnitSuffix(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path, "internal/units") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			checkSuffixList(pass, fd, fd.Type.Params, "parameter")
+			checkSuffixList(pass, fd, fd.Type.Results, "result")
+		}
+	}
+}
+
+func checkSuffixList(pass *Pass, fd *ast.FuncDecl, fl *ast.FieldList, what string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		if !isFloatBased(pass.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if suffix := nonSISuffix(name.Name); suffix != "" {
+				pass.Reportf(name.Pos(), "exported function %s has %s %q with non-SI unit suffix %q; convert via internal/units and pass SI", fd.Name.Name, what, name.Name, suffix)
+			}
+		}
+	}
+}
+
+// isFloatBased reports whether t is a float or a slice/array of floats.
+func isFloatBased(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Slice:
+		return isFloatBased(u.Elem())
+	case *types.Array:
+		return isFloatBased(u.Elem())
+	}
+	return false
+}
+
+// nonSISuffix returns the offending suffix, or "". A suffix matches when
+// the name is exactly the suffix (any case, e.g. "rpm"), or ends with the
+// suffix preceded by a lowercase letter or digit (camelCase boundary,
+// e.g. "tMaxC", "speedRPM") — so "Vec" or "Disc" do not match "C".
+func nonSISuffix(name string) string {
+	for _, s := range nonSISuffixes {
+		if strings.EqualFold(name, s) {
+			return s
+		}
+		if strings.HasSuffix(name, s) {
+			runes := []rune(name[:len(name)-len(s)])
+			prev := runes[len(runes)-1]
+			if unicode.IsLower(prev) || unicode.IsDigit(prev) {
+				return s
+			}
+		}
+	}
+	return ""
+}

@@ -50,8 +50,9 @@ func (tr *Trace) At(t float64) (Map, error) {
 		return nil, fmt.Errorf("power: empty trace")
 	}
 	i := sort.SearchFloat64s(tr.times, t)
-	// SearchFloat64s returns the first index with times[i] >= t.
-	if i < len(tr.times) && tr.times[i] == t {
+	// SearchFloat64s returns the first index with times[i] >= t, so
+	// times[i] <= t holds exactly on a timestamp hit.
+	if i < len(tr.times) && tr.times[i] <= t {
 		return tr.maps[i], nil
 	}
 	if i == 0 {

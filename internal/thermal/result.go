@@ -184,7 +184,11 @@ func (m *Model) EnergyBalance(res *Result) (float64, error) {
 	for i := 0; i < pcb.NumCells(); i++ {
 		out += per * (res.T[m.node(planePCB, i)] - m.cfg.Ambient)
 	}
-	return in - out, nil
+	bal := in - out
+	if math.IsNaN(bal) || math.IsInf(bal, 0) {
+		return 0, fmt.Errorf("thermal: energy balance is not finite")
+	}
+	return bal, nil
 }
 
 // HottestUnit maps the hottest chip cell back to the floorplan unit that

@@ -1,0 +1,23 @@
+#!/bin/sh
+# check.sh — the full verification gate for this repository:
+#
+#   build → go vet → oftecvet (project static analysis) → tests with -race
+#
+# Run from anywhere inside the module; exits nonzero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go run ./cmd/oftecvet ./..."
+go run ./cmd/oftecvet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== check.sh: all gates passed"
