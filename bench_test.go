@@ -12,6 +12,7 @@ package oftec_bench
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"oftec/internal/core"
@@ -84,6 +85,45 @@ func BenchmarkFig6bSurface(b *testing.B) {
 				minP.Omega, minT.Omega)
 		}
 		b.ReportMetric(minP.Power, "minP-W")
+	}
+}
+
+// BenchmarkSurfaceGrid measures the parallel fan-out engine on the
+// Figure 6 grid shape (40×40 = 1600 independent operating points) against
+// the serial reference path, at reduced thermal resolution so one
+// iteration stays in benchmark territory. Every Surface call builds a
+// fresh system, so both variants run cold-cache and the comparison is
+// pure fan-out: at GOMAXPROCS ≥ 4 the parallel variant is expected to be
+// ≥ 2× faster in wall-clock, with byte-identical output (asserted by
+// TestSurfaceParallelMatchesSerial; the sanity checks here only guard the
+// surface shape). On a single-CPU host the two variants time alike.
+func BenchmarkSurfaceGrid(b *testing.B) {
+	setup := experiments.FastSetup()
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			for i := 0; i < b.N; i++ {
+				pts, err := experiments.SurfaceWorkers(setup, "Basicmath", 40, 40, bc.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runaway := 0
+				for _, p := range pts {
+					if p.Runaway {
+						runaway++
+					}
+				}
+				if runaway == 0 || runaway == len(pts) {
+					b.Fatalf("surface shape broken: %d/%d runaway", runaway, len(pts))
+				}
+			}
+		})
 	}
 }
 

@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	sweep [-bench Basicmath] [-nomega 40] [-ni 26] [-res 16] [-o out.csv]
+//	sweep [-bench Basicmath] [-nomega 40] [-ni 26] [-res 16] [-parallel 0] [-o out.csv]
+//
+// Grid points are independent steady-state solves and are fanned out
+// across -parallel workers (0 sizes the pool to GOMAXPROCS, 1 forces the
+// serial reference path); the CSV is identical for any width.
 package main
 
 import (
@@ -29,6 +33,7 @@ func main() {
 		nOmega = flag.Int("nomega", 40, "grid points along the ω axis")
 		nI     = flag.Int("ni", 26, "grid points along the I_TEC axis")
 		res    = flag.Int("res", 16, "chip-layer grid resolution")
+		par    = flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = serial)")
 		out    = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
@@ -37,7 +42,7 @@ func main() {
 	cfg.ChipRes = *res
 	setup := experiments.Setup{Config: cfg, Benchmarks: workload.All()}
 
-	pts, err := experiments.Surface(setup, *bench, *nOmega, *nI)
+	pts, err := experiments.SurfaceWorkers(setup, *bench, *nOmega, *nI, *par)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,22 +64,29 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Report the qualitative features the paper highlights.
+	// Report the qualitative features the paper highlights. The minima are
+	// tracked over non-runaway points only: seeding from pts[0] would
+	// report a runaway corner as a "basin" whenever the whole grid (or
+	// just the first point's neighborhood) is in runaway.
 	var runaway int
-	minT, minP := pts[0], pts[0]
-	for _, p := range pts {
+	minT, minP := -1, -1
+	for k, p := range pts {
 		if p.Runaway {
 			runaway++
 			continue
 		}
-		if p.MaxTemp < minT.MaxTemp || minT.Runaway {
-			minT = p
+		if minT < 0 || p.MaxTemp < pts[minT].MaxTemp {
+			minT = k
 		}
-		if p.Power < minP.Power || minP.Runaway {
-			minP = p
+		if minP < 0 || p.Power < pts[minP].Power {
+			minP = k
 		}
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d/%d grid points in thermal runaway (low-ω wall)\n", runaway, len(pts))
-	fmt.Fprintf(os.Stderr, "sweep: min 𝒯 at ω=%.0f rad/s, I=%.2f A (interior basin, cf. Fig. 6(a))\n", minT.Omega, minT.ITEC)
-	fmt.Fprintf(os.Stderr, "sweep: min 𝒫 at ω=%.0f rad/s, I=%.2f A (near the origin, cf. Fig. 6(b))\n", minP.Omega, minP.ITEC)
+	if minT < 0 {
+		fmt.Fprintf(os.Stderr, "sweep: every grid point is in thermal runaway — no basin to report; extend the ω range or raise the grid resolution\n")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "sweep: min 𝒯 at ω=%.0f rad/s, I=%.2f A (interior basin, cf. Fig. 6(a))\n", pts[minT].Omega, pts[minT].ITEC)
+	fmt.Fprintf(os.Stderr, "sweep: min 𝒫 at ω=%.0f rad/s, I=%.2f A (near the origin, cf. Fig. 6(b))\n", pts[minP].Omega, pts[minP].ITEC)
 }

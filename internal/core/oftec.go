@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"oftec/internal/parallel"
 	"oftec/internal/solver"
 	"oftec/internal/thermal"
 	"oftec/internal/units"
@@ -40,6 +41,12 @@ type Options struct {
 	// uses the model configuration's T_max. Pareto sweeps use this to
 	// trace the power/temperature trade-off.
 	TMax float64
+	// Workers bounds the parallel fan-out of the sweep-style drivers
+	// built on the (thread-safe) evaluation cache: ParetoFront's
+	// threshold probe and the MultiStart corner launch. Zero sizes the
+	// pool to GOMAXPROCS; one forces the serial reference path. Results
+	// are identical either way.
+	Workers int
 }
 
 func (o Options) tMax(cfg thermal.Config) float64 {
@@ -213,7 +220,13 @@ func (s *System) Run(opts Options) (*Outcome, error) {
 		// The feasible point from phase 2 leads the list so the plain
 		// Algorithm 1 path is always among the candidates.
 		starts = append([][]float64{x1}, starts...)
-		rep, err = solver.MultiStart(opts.Method.run, p1, starts, opts.Solver)
+		so := opts.Solver
+		if so.Workers == 0 {
+			// The System objectives are safe for concurrent use, so the
+			// corner launch fans out unless the caller pinned a width.
+			so.Workers = parallel.Workers(opts.Workers)
+		}
+		rep, err = solver.MultiStart(opts.Method.run, p1, starts, so)
 	} else {
 		rep, err = opts.Method.run(p1, x1, opts.Solver)
 	}

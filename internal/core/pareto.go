@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+
+	"oftec/internal/parallel"
 )
 
 // ParetoPoint is one point of the cooling-power / peak-temperature
@@ -24,9 +27,16 @@ type ParetoPoint struct {
 // ParetoFront traces the trade-off Optimization 1 navigates (Section 6.2:
 // "OFTEC addresses the trade-off between the cooling power consumption
 // and the maximum chip temperature") by re-running Algorithm 1 under a
-// sweep of thermal thresholds. Thresholds are processed in descending
-// order; once a threshold is infeasible, every tighter one is marked
-// infeasible without further solves (monotonicity of the feasible set).
+// sweep of thermal thresholds, returned in descending threshold order.
+//
+// The thresholds are independent solves, so they are probed concurrently
+// on a pool sized by Options.Workers (GOMAXPROCS by default; 1 forces the
+// serial path). Monotonicity of the feasible set — once a threshold is
+// infeasible, every tighter one is too — is enforced either way: the
+// serial path short-circuits and never solves below the first infeasible
+// threshold, while the parallel path probes all thresholds and applies
+// the same cut as a post-pass, discarding any solver artifact below the
+// frontier. Both paths therefore return identical fronts.
 func (s *System) ParetoFront(tmaxValues []float64, opts Options) ([]ParetoPoint, error) {
 	if len(tmaxValues) == 0 {
 		return nil, fmt.Errorf("core: Pareto sweep needs at least one threshold")
@@ -34,13 +44,64 @@ func (s *System) ParetoFront(tmaxValues []float64, opts Options) ([]ParetoPoint,
 	ambient := s.model.Config().Ambient
 	sorted := append([]float64(nil), tmaxValues...)
 	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
-
-	out := make([]ParetoPoint, 0, len(sorted))
-	infeasibleBelow := false
 	for _, tmax := range sorted {
 		if tmax <= ambient {
 			return nil, fmt.Errorf("core: Pareto threshold %g K not above ambient %g K", tmax, ambient)
 		}
+	}
+
+	workers := parallel.Workers(opts.Workers)
+	if workers > len(sorted) {
+		workers = len(sorted)
+	}
+	if workers == 1 {
+		return s.paretoSerial(sorted, opts)
+	}
+
+	out := make([]ParetoPoint, len(sorted))
+	err := parallel.ForEach(context.Background(), len(sorted), workers, func(i int) error {
+		tmax := sorted[i]
+		o := opts
+		o.TMax = tmax
+		res, err := s.Run(o)
+		if err != nil {
+			return fmt.Errorf("core: Pareto threshold %g K: %w", tmax, err)
+		}
+		pt := ParetoPoint{TMax: tmax}
+		if res.Feasible {
+			pt.Feasible = true
+			pt.Power = res.CoolingPower()
+			pt.MaxTemp = res.Result.MaxChipTemp
+			pt.Omega, pt.ITEC = res.Omega, res.ITEC
+		}
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Monotonicity post-pass: below the first infeasible threshold the
+	// serial path never solves, so blank any speculative result there —
+	// an approximate solver might otherwise report a tighter threshold
+	// "feasible" under a looser infeasible one.
+	infeasibleBelow := false
+	for i := range out {
+		if infeasibleBelow {
+			out[i] = ParetoPoint{TMax: sorted[i]}
+		} else if !out[i].Feasible {
+			infeasibleBelow = true
+		}
+	}
+	return out, nil
+}
+
+// paretoSerial is the reference implementation: descending thresholds
+// with a live monotonicity short circuit (no solves below the first
+// infeasible threshold).
+func (s *System) paretoSerial(sorted []float64, opts Options) ([]ParetoPoint, error) {
+	out := make([]ParetoPoint, 0, len(sorted))
+	infeasibleBelow := false
+	for _, tmax := range sorted {
 		pt := ParetoPoint{TMax: tmax}
 		if !infeasibleBelow {
 			o := opts

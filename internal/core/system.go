@@ -105,46 +105,142 @@ func (m Method) run(p *solver.Problem, x0 []float64, opts solver.Options) (solve
 
 // System couples a thermal model with the optimization machinery. The
 // embedded evaluation cache makes the objective and constraint share one
-// thermal solve per operating point; it is safe for concurrent use.
+// thermal solve per operating point; it is safe for concurrent use:
+// concurrent misses on the same quantized key coalesce onto a single
+// in-flight solve (singleflight), and the bounded cache evicts by
+// rotating generations so at most half the working set is dropped at
+// once — never the whole cache mid-optimization.
 type System struct {
 	model *thermal.Model
 
-	mu    sync.Mutex
-	cache map[opKey]*thermal.Result
+	mu sync.Mutex
+	// cur and old are the two cache generations. Inserts go to cur; a hit
+	// in old promotes the entry back into cur, so any key touched between
+	// two rotations survives the next one.
+	cur, old map[opKey]*thermal.Result
+	// inflight tracks solves in progress so concurrent callers of the
+	// same key wait for one result instead of duplicating the solve.
+	inflight map[opKey]*inflightSolve
+	// capacity bounds each generation (≤ 2·capacity entries total).
+	capacity int
+	stats    CacheStats
+
+	// solveHook, when non-nil, runs immediately before each underlying
+	// model.Evaluate — i.e. exactly once per deduplicated cache miss.
+	// Test instrumentation only.
+	solveHook func(omega, itec float64)
 }
 
 type opKey struct{ omega, itec float64 }
 
+// inflightSolve is the rendezvous for callers coalesced onto one solve:
+// the leader closes done after filling res/err.
+type inflightSolve struct {
+	done chan struct{}
+	res  *thermal.Result
+	err  error
+}
+
+// defaultCacheCapacity is the per-generation entry bound; two generations
+// give the same ~16k-point footprint as the historical single map.
+const defaultCacheCapacity = 1 << 13
+
+// CacheStats counts evaluation-cache traffic; totals are cumulative for
+// the System's lifetime.
+type CacheStats struct {
+	// Hits were served from a completed cached solve.
+	Hits int64
+	// Waits were coalesced onto another caller's in-flight solve — each
+	// one is a thermal solve that the old cache would have duplicated.
+	Waits int64
+	// Misses are underlying model solves started (one per unique key).
+	Misses int64
+	// Rotations counts generation rotations (bounded evictions).
+	Rotations int64
+}
+
 // NewSystem wraps a thermal model.
 func NewSystem(model *thermal.Model) *System {
-	return &System{model: model, cache: make(map[opKey]*thermal.Result)}
+	return &System{
+		model:    model,
+		cur:      make(map[opKey]*thermal.Result),
+		inflight: make(map[opKey]*inflightSolve),
+		capacity: defaultCacheCapacity,
+	}
 }
 
 // Model returns the underlying thermal model.
 func (s *System) Model() *thermal.Model { return s.model }
 
+// CacheStats returns a snapshot of the evaluation-cache counters.
+func (s *System) CacheStats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
 // Evaluate returns the (cached) steady state at an operating point, using
-// the linearized-leakage solve the optimizers work with.
+// the linearized-leakage solve the optimizers work with. Concurrent
+// callers requesting the same quantized point share one solve.
 func (s *System) Evaluate(omega, itec float64) (*thermal.Result, error) {
 	key := opKey{quantize(omega), quantize(itec)}
 	s.mu.Lock()
-	if r, ok := s.cache[key]; ok {
+	if r, ok := s.lookupLocked(key); ok {
+		s.stats.Hits++
 		s.mu.Unlock()
 		return r, nil
 	}
+	if fl, ok := s.inflight[key]; ok {
+		s.stats.Waits++
+		s.mu.Unlock()
+		<-fl.done
+		return fl.res, fl.err
+	}
+	fl := &inflightSolve{done: make(chan struct{})}
+	s.inflight[key] = fl
+	s.stats.Misses++
+	hook := s.solveHook
 	s.mu.Unlock()
 
-	r, err := s.model.Evaluate(omega, itec)
-	if err != nil {
-		return nil, err
+	if hook != nil {
+		hook(omega, itec)
 	}
+	fl.res, fl.err = s.model.Evaluate(omega, itec)
+
 	s.mu.Lock()
-	if len(s.cache) > 1<<14 {
-		s.cache = make(map[opKey]*thermal.Result)
+	delete(s.inflight, key)
+	if fl.err == nil {
+		s.storeLocked(key, fl.res)
 	}
-	s.cache[key] = r
 	s.mu.Unlock()
-	return r, nil
+	close(fl.done)
+	return fl.res, fl.err
+}
+
+// lookupLocked checks both generations, promoting old-generation hits
+// into the current one so the hot working set survives the next rotation.
+func (s *System) lookupLocked(key opKey) (*thermal.Result, bool) {
+	if r, ok := s.cur[key]; ok {
+		return r, true
+	}
+	if r, ok := s.old[key]; ok {
+		delete(s.old, key)
+		s.storeLocked(key, r)
+		return r, true
+	}
+	return nil, false
+}
+
+// storeLocked inserts into the current generation, rotating when full:
+// the previous generation is kept readable, so an eviction discards at
+// most the stale half of the working set.
+func (s *System) storeLocked(key opKey, r *thermal.Result) {
+	if len(s.cur) >= s.capacity {
+		s.old = s.cur
+		s.cur = make(map[opKey]*thermal.Result, len(s.old))
+		s.stats.Rotations++
+	}
+	s.cur[key] = r
 }
 
 // quantize rounds an operating coordinate so cache keys are insensitive to

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These tests pin the two concurrency contracts of the evaluation cache:
+// concurrent misses on one operating point coalesce onto a single
+// underlying thermal solve (singleflight), and eviction is bounded — a
+// key that stays hot is never discarded, no matter how much distinct
+// traffic flows through.
+
+// TestEvaluateSingleflight launches M goroutines at one operating point
+// and asserts exactly one model.Evaluate runs underneath. The leader is
+// held inside the solve hook until every other goroutine has had time to
+// arrive, so the window where the old code duplicated solves is wide
+// open; late arrivals that miss the window hit the filled cache instead,
+// so the single-solve invariant holds regardless of scheduling.
+func TestEvaluateSingleflight(t *testing.T) {
+	s := benchSystem(t, "CRC32")
+	var solves atomic.Int64
+	release := make(chan struct{})
+	s.solveHook = func(omega, itec float64) {
+		solves.Add(1)
+		<-release
+	}
+
+	const workers = 16
+	var entered atomic.Int64
+	var wg sync.WaitGroup
+	results := make([]float64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			entered.Add(1)
+			r, err := s.Evaluate(123.456, 1.25)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			results[w] = r.MaxChipTemp
+		}(w)
+	}
+	for entered.Load() < workers {
+		time.Sleep(time.Millisecond)
+	}
+	// Give the stragglers a beat to park on the in-flight solve, then let
+	// the leader finish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := solves.Load(); n != 1 {
+		t.Fatalf("%d goroutines on one operating point triggered %d model solves, want exactly 1", workers, n)
+	}
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Fatalf("worker %d saw MaxChipTemp %g, worker 0 saw %g", w, results[w], results[0])
+		}
+	}
+	stats := s.CacheStats()
+	if stats.Misses != 1 {
+		t.Errorf("stats.Misses = %d, want 1", stats.Misses)
+	}
+	if stats.Hits+stats.Waits != workers-1 {
+		t.Errorf("stats.Hits+Waits = %d, want %d", stats.Hits+stats.Waits, workers-1)
+	}
+}
+
+// TestHotKeySurvivesEviction is the regression test for the old
+// full-map wipe: under sustained distinct-key pressure that forces many
+// rotations, a key touched regularly must stay cached (one solve, ever).
+func TestHotKeySurvivesEviction(t *testing.T) {
+	s := benchSystem(t, "CRC32")
+	s.capacity = 3 // tiny generations so a few dozen solves force rotations
+
+	const hotOmega, hotITEC = 200.0, 1.0
+	var hotSolves atomic.Int64
+	s.solveHook = func(omega, itec float64) {
+		if quantize(omega) == quantize(hotOmega) && quantize(itec) == quantize(hotITEC) {
+			hotSolves.Add(1)
+		}
+	}
+
+	if _, err := s.Evaluate(hotOmega, hotITEC); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 18; i++ {
+		if _, err := s.Evaluate(150+10*float64(i), 0.5); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Evaluate(hotOmega, hotITEC); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stats := s.CacheStats()
+	if stats.Rotations < 3 {
+		t.Fatalf("only %d rotations; the test did not generate eviction pressure", stats.Rotations)
+	}
+	if n := hotSolves.Load(); n != 1 {
+		t.Errorf("hot key was re-solved %d times under eviction pressure, want 1", n)
+	}
+	if total := len(s.cur) + len(s.old); total > 2*s.capacity {
+		t.Errorf("cache holds %d entries, bound is %d", total, 2*s.capacity)
+	}
+}
+
+// TestEvaluateMixedTrafficStress hammers one System with interleaved
+// hits, coalesced misses, and rotations (capacity far below the key-set
+// size) from many goroutines — the traffic pattern of a parallel surface
+// sweep. Run under -race this exercises every lock transition; the
+// results must still match a fresh serial system exactly.
+func TestEvaluateMixedTrafficStress(t *testing.T) {
+	s := benchSystem(t, "CRC32")
+	s.capacity = 4
+
+	var points []struct{ omega, itec float64 }
+	for i := 0; i < 24; i++ {
+		points = append(points, struct{ omega, itec float64 }{
+			omega: 120 + 15*float64(i%12),
+			itec:  0.25 * float64(i/12),
+		})
+	}
+
+	const workers = 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4*len(points); i++ {
+				p := points[(3*w+i)%len(points)]
+				r, err := s.Evaluate(p.omega, p.itec)
+				if err != nil {
+					t.Errorf("Evaluate(%g, %g): %v", p.omega, p.itec, err)
+					return
+				}
+				if r == nil {
+					t.Errorf("Evaluate(%g, %g): nil result", p.omega, p.itec)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	stats := s.CacheStats()
+	if stats.Rotations == 0 {
+		t.Error("stress produced no rotations; eviction path not exercised")
+	}
+	if stats.Hits == 0 || stats.Misses == 0 {
+		t.Errorf("stress traffic not mixed: %+v", stats)
+	}
+
+	// Cross-check a sample of points against an independent serial system.
+	ref := benchSystem(t, "CRC32")
+	for _, p := range points[:6] {
+		want, err := ref.Evaluate(p.omega, p.itec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Evaluate(p.omega, p.itec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.MaxChipTemp != want.MaxChipTemp {
+			t.Errorf("point (%g, %g): MaxChipTemp %g != serial reference %g",
+				p.omega, p.itec, got.MaxChipTemp, want.MaxChipTemp)
+		}
+	}
+}
+
+// TestCacheStatsAccounting pins the counter semantics on a serial
+// traffic pattern where the exact values are known.
+func TestCacheStatsAccounting(t *testing.T) {
+	s := benchSystem(t, "CRC32")
+	if _, err := s.Evaluate(100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Evaluate(100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Evaluate(200, 1); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.CacheStats()
+	want := CacheStats{Hits: 1, Misses: 2}
+	if stats != want {
+		t.Errorf("stats = %+v, want %+v", stats, want)
+	}
+}

@@ -7,16 +7,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
 	"oftec/internal/core"
+	"oftec/internal/parallel"
 	"oftec/internal/thermal"
 	"oftec/internal/units"
 	"oftec/internal/workload"
@@ -79,10 +78,17 @@ type SurfacePoint struct {
 
 // Surface evaluates 𝒯(ω, I) and 𝒫(ω, I) on an nOmega×nI uniform grid for
 // one benchmark — the data behind Figure 6(a) and (b). Grid points are
-// independent steady-state solves, so they are evaluated concurrently
-// across the available CPUs; the returned slice is in deterministic
-// row-major (ω, then I) order regardless.
+// independent steady-state solves, so they are fanned out across
+// GOMAXPROCS workers; the returned slice is in deterministic row-major
+// (ω, then I) order regardless.
 func Surface(setup Setup, benchName string, nOmega, nI int) ([]SurfacePoint, error) {
+	return SurfaceWorkers(setup, benchName, nOmega, nI, 0)
+}
+
+// SurfaceWorkers is Surface with an explicit fan-out width: zero sizes
+// the pool to GOMAXPROCS, one forces the serial reference path. Results
+// are identical for any width.
+func SurfaceWorkers(setup Setup, benchName string, nOmega, nI, workers int) ([]SurfacePoint, error) {
 	if nOmega < 2 || nI < 2 {
 		return nil, fmt.Errorf("experiments: surface grid %d×%d must be at least 2×2", nOmega, nI)
 	}
@@ -93,48 +99,27 @@ func Surface(setup Setup, benchName string, nOmega, nI int) ([]SurfacePoint, err
 	cfg := setup.Config
 	total := nOmega * nI
 	out := make([]SurfacePoint, total)
-	errs := make([]error, total)
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > total {
-		workers = total
-	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				k := int(atomic.AddInt64(&next, 1))
-				if k >= total {
-					return
-				}
-				i, j := k/nI, k%nI
-				omega := cfg.Fan.OmegaMax * float64(i) / float64(nOmega-1)
-				itec := cfg.TEC.MaxCurrent * float64(j) / float64(nI-1)
-				res, err := sys.Evaluate(omega, itec)
-				if err != nil {
-					errs[k] = err
-					continue
-				}
-				p := SurfacePoint{Omega: omega, ITEC: itec, Runaway: res.Runaway}
-				if res.Runaway {
-					p.MaxTemp = math.Inf(1)
-					p.Power = math.Inf(1)
-				} else {
-					p.MaxTemp = res.MaxChipTemp
-					p.Power = res.CoolingPower()
-				}
-				out[k] = p
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err = parallel.ForEach(context.Background(), total, workers, func(k int) error {
+		i, j := k/nI, k%nI
+		omega := cfg.Fan.OmegaMax * float64(i) / float64(nOmega-1)
+		itec := cfg.TEC.MaxCurrent * float64(j) / float64(nI-1)
+		res, err := sys.Evaluate(omega, itec)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		p := SurfacePoint{Omega: omega, ITEC: itec, Runaway: res.Runaway}
+		if res.Runaway {
+			p.MaxTemp = math.Inf(1)
+			p.Power = math.Inf(1)
+		} else {
+			p.MaxTemp = res.MaxChipTemp
+			p.Power = res.CoolingPower()
+		}
+		out[k] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -178,21 +163,35 @@ type MethodResult struct {
 var compareModes = []core.Mode{core.ModeHybrid, core.ModeVariableFan, core.ModeFixedFan}
 
 func (s Setup) runAll(opts core.Options) ([]MethodResult, error) {
-	var out []MethodResult
-	for _, b := range s.Benchmarks {
+	// One task per benchmark (each builds its own model, so tasks share
+	// nothing); the mode loop stays inside the task so all three modes
+	// reuse that benchmark's evaluation cache.
+	perBench := make([][]MethodResult, len(s.Benchmarks))
+	err := parallel.ForEach(context.Background(), len(s.Benchmarks), 0, func(i int) error {
+		b := s.Benchmarks[i]
 		sys, err := s.system(b)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results := make([]MethodResult, 0, len(compareModes))
 		for _, mode := range compareModes {
 			o := opts
 			o.Mode = mode
 			res, err := sys.Run(o)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%s: %w", b.Name, mode, err)
+				return fmt.Errorf("experiments: %s/%s: %w", b.Name, mode, err)
 			}
-			out = append(out, toMethodResult(b.Name, res))
+			results = append(results, toMethodResult(b.Name, res))
 		}
+		perBench[i] = results
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []MethodResult
+	for _, results := range perBench {
+		out = append(out, results...)
 	}
 	return out, nil
 }
@@ -231,17 +230,21 @@ func Opt1Series(s Setup) ([]MethodResult, error) {
 // TECOnlySeries demonstrates that a TEC-only system cannot avoid thermal
 // runaway on any benchmark (Section 6.2).
 func TECOnlySeries(s Setup) ([]MethodResult, error) {
-	var out []MethodResult
-	for _, b := range s.Benchmarks {
-		sys, err := s.system(b)
+	out := make([]MethodResult, len(s.Benchmarks))
+	err := parallel.ForEach(context.Background(), len(s.Benchmarks), 0, func(i int) error {
+		sys, err := s.system(s.Benchmarks[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := sys.Run(core.Options{Mode: core.ModeTECOnly})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, toMethodResult(b.Name, res))
+		out[i] = toMethodResult(s.Benchmarks[i].Name, res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -257,22 +260,27 @@ type Table2Row struct {
 // Table2 runs OFTEC (Algorithm 1) per benchmark and reports the optimal
 // operating points and runtimes.
 func Table2(s Setup) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, b := range s.Benchmarks {
+	rows := make([]Table2Row, len(s.Benchmarks))
+	err := parallel.ForEach(context.Background(), len(s.Benchmarks), 0, func(i int) error {
+		b := s.Benchmarks[i]
 		sys, err := s.system(b)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out, err := sys.Run(core.Options{Mode: core.ModeHybrid})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Table2Row{
+		rows[i] = Table2Row{
 			Benchmark: b.Name,
 			ITEC:      out.ITEC,
 			OmegaRPM:  units.RadPerSecToRPM(out.Omega),
 			Runtime:   out.Runtime,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

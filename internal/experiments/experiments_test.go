@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -71,6 +72,30 @@ func TestSurfaceCSV(t *testing.T) {
 	}
 	if _, err := Surface(setup, "NoSuchBench", 3, 3); err == nil {
 		t.Error("unknown benchmark accepted")
+	}
+}
+
+// TestSurfaceParallelMatchesSerial pins the fan-out contract: the
+// parallel surface sweep must be byte-identical to the serial reference
+// path, runaway wall included. Fresh systems on both sides keep the
+// caches independent, so agreement means the solves themselves agree.
+func TestSurfaceParallelMatchesSerial(t *testing.T) {
+	setup := FastSetup()
+	serial, err := SurfaceWorkers(setup, "Basicmath", 10, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SurfaceWorkers(setup, "Basicmath", 10, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("length mismatch: serial %d, parallel %d", len(serial), len(par))
+	}
+	for k := range serial {
+		if !reflect.DeepEqual(serial[k], par[k]) {
+			t.Fatalf("grid point %d differs:\nserial   %+v\nparallel %+v", k, serial[k], par[k])
+		}
 	}
 }
 

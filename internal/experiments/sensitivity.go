@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"text/tabwriter"
 
 	"oftec/internal/core"
+	"oftec/internal/parallel"
 	"oftec/internal/thermal"
 	"oftec/internal/units"
 	"oftec/internal/workload"
@@ -29,7 +31,8 @@ type SensitivityRow struct {
 }
 
 // SeebeckSensitivity runs OFTEC on one benchmark across a sweep of Seebeck
-// scalings.
+// scalings. Each scale builds its own model, so the sweep fans out across
+// GOMAXPROCS workers; rows come back in the caller's scale order.
 func SeebeckSensitivity(s Setup, benchName string, scales []float64) ([]SensitivityRow, error) {
 	if len(scales) == 0 {
 		return nil, fmt.Errorf("experiments: sensitivity sweep needs at least one scale")
@@ -38,11 +41,14 @@ func SeebeckSensitivity(s Setup, benchName string, scales []float64) ([]Sensitiv
 	if err != nil {
 		return nil, err
 	}
-	var rows []SensitivityRow
 	for _, scale := range scales {
 		if scale < 0 {
 			return nil, fmt.Errorf("experiments: Seebeck scale %g must be non-negative", scale)
 		}
+	}
+	rows := make([]SensitivityRow, len(scales))
+	err = parallel.ForEach(context.Background(), len(scales), 0, func(i int) error {
+		scale := scales[i]
 		cfg := s.Config
 		if scale == 0 {
 			// α must stay positive for validation; a vanishing coefficient
@@ -53,15 +59,15 @@ func SeebeckSensitivity(s Setup, benchName string, scales []float64) ([]Sensitiv
 		}
 		pm, err := b.PowerMap(cfg.Floorplan)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		model, err := thermal.NewModel(cfg, pm)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out, err := core.NewSystem(model).Run(core.Options{Mode: core.ModeHybrid})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: sensitivity scale %g: %w", scale, err)
+			return fmt.Errorf("experiments: sensitivity scale %g: %w", scale, err)
 		}
 		row := SensitivityRow{SeebeckScale: scale, Feasible: out.Feasible,
 			PowerW: math.Inf(1), MaxTempC: math.Inf(1)}
@@ -71,7 +77,11 @@ func SeebeckSensitivity(s Setup, benchName string, scales []float64) ([]Sensitiv
 			row.ITEC = out.ITEC
 			row.OmegaRPM = units.RadPerSecToRPM(out.Omega)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -145,21 +155,22 @@ func CoverageStudy(s Setup, benchName string) ([]CoverageRow, error) {
 			"FPAdd", "FPMul", "FPReg", "FPMap", "FPQ",
 		}},
 	}
-	var rows []CoverageRow
-	for _, d := range deployments {
+	rows := make([]CoverageRow, len(deployments))
+	err = parallel.ForEach(context.Background(), len(deployments), 0, func(i int) error {
+		d := deployments[i]
 		cfg := s.Config
 		cfg.TEC.Uncovered = d.uncovered
 		pm, err := b.PowerMap(cfg.Floorplan)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		model, err := thermal.NewModel(cfg, pm)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out, err := core.NewSystem(model).Run(core.Options{Mode: core.ModeHybrid})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: coverage %q: %w", d.name, err)
+			return fmt.Errorf("experiments: coverage %q: %w", d.name, err)
 		}
 		row := CoverageRow{Name: d.name, NumTEC: model.NumTEC(), Feasible: out.Feasible,
 			PowerW: math.Inf(1), MaxTempC: math.Inf(1)}
@@ -168,7 +179,11 @@ func CoverageStudy(s Setup, benchName string) ([]CoverageRow, error) {
 			row.MaxTempC = units.KToC(out.Result.MaxChipTemp)
 			row.TECPowerW = out.Result.PTEC
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
 
 	"oftec/internal/core"
 	"oftec/internal/dvfs"
+	"oftec/internal/parallel"
 	"oftec/internal/thermal"
 	"oftec/internal/workload"
 )
@@ -33,18 +35,24 @@ type ThrottleRow struct {
 
 // ThrottlingSeries computes the DVFS comparison for every benchmark in the
 // setup, using the variable-speed fan baseline as the cooling system that
-// must be rescued by throttling.
+// must be rescued by throttling. Benchmarks are independent (each builds
+// its own thermal model), so the series fans out across GOMAXPROCS
+// workers; rows come back in benchmark order.
 func ThrottlingSeries(s Setup, model dvfs.Model) ([]ThrottleRow, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
-	var rows []ThrottleRow
-	for _, b := range s.Benchmarks {
-		row, err := throttleOne(s, model, b)
+	rows := make([]ThrottleRow, len(s.Benchmarks))
+	err := parallel.ForEach(context.Background(), len(s.Benchmarks), 0, func(i int) error {
+		row, err := throttleOne(s, model, s.Benchmarks[i])
 		if err != nil {
-			return nil, fmt.Errorf("experiments: throttling %s: %w", b.Name, err)
+			return fmt.Errorf("experiments: throttling %s: %w", s.Benchmarks[i].Name, err)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,173 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-3); got != want {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+// TestForEachOrderedCollection checks that index-addressed writes from the
+// pool assemble the same output a serial loop produces.
+func TestForEachOrderedCollection(t *testing.T) {
+	const n = 1000
+	out := make([]int, n)
+	if err := ForEach(context.Background(), n, 8, func(i int) error {
+		out[i] = 3*i + 1
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 3*i+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, 3*i+1)
+		}
+	}
+}
+
+// TestForEachBoundedConcurrency verifies the pool never runs more tasks at
+// once than requested.
+func TestForEachBoundedConcurrency(t *testing.T) {
+	const n, workers = 200, 3
+	var cur, peak atomic.Int64
+	if err := ForEach(context.Background(), n, workers, func(i int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		cur.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent tasks, pool bounded at %d", p, workers)
+	}
+}
+
+// TestForEachFirstErrorWins checks deterministic error propagation: the
+// lowest-index failure is returned even when a higher-index task fails
+// first in wall-clock time.
+func TestForEachFirstErrorWins(t *testing.T) {
+	slowErr := errors.New("slow low-index failure")
+	err := ForEach(context.Background(), 600, 8, func(i int) error {
+		switch {
+		case i == 5:
+			time.Sleep(20 * time.Millisecond) // fail late in time, early in index
+			return slowErr
+		case i == 500:
+			return fmt.Errorf("fast high-index failure")
+		}
+		return nil
+	})
+	if !errors.Is(err, slowErr) {
+		t.Errorf("got %v, want the index-5 error", err)
+	}
+}
+
+// TestForEachStopsDispatchOnError checks that a failure prevents most of
+// the remaining tasks from starting (the pool only drains in-flight work).
+func TestForEachStopsDispatchOnError(t *testing.T) {
+	const n = 100000
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), n, 4, func(i int) error {
+		ran.Add(1)
+		if i == 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if r := ran.Load(); r >= n {
+		t.Errorf("all %d tasks ran despite an early error", r)
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEach(ctx, 100000, 4, func(i int) error {
+		if ran.Add(1) == 50 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if r := ran.Load(); r >= 100000 {
+		t.Error("cancellation did not stop dispatch")
+	}
+}
+
+// TestForEachSerialPath pins the one-worker contract: strict index order
+// and an immediate stop at the first error, with no later task running.
+func TestForEachSerialPath(t *testing.T) {
+	var order []int
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 10, 1, func(i int) error {
+		order = append(order, i) // no mutex: serial path must be one goroutine
+		if i == 6 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if len(order) != 7 {
+		t.Fatalf("ran %d tasks, want 7 (0..6)", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial path ran out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(int) error { return nil }); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+	if err := ForEach(context.Background(), 4, 4, nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+	// nil context is tolerated (treated as Background).
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	if err := ForEach(nil, 8, 2, func(i int) error { //nolint:staticcheck // deliberate nil ctx
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Errorf("nil ctx: %v", err)
+	}
+	if len(seen) != 8 {
+		t.Errorf("nil ctx ran %d tasks, want 8", len(seen))
+	}
+}

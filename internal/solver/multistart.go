@@ -1,8 +1,11 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"oftec/internal/parallel"
 )
 
 // MultiStart runs a solver from several starting points and returns the
@@ -11,6 +14,13 @@ import (
 // a small multistart turns the local SQP into a practical global method
 // when extra robustness is wanted. FuncEvals and Iterations aggregate
 // across all starts.
+//
+// With Options.Workers outside {0, 1} the starts are launched on a
+// bounded worker pool (see Options.Workers for the thread-safety
+// contract). The selection over completed reports is replayed serially
+// in start order, so the returned Report is identical to the serial
+// launch — including the early-stop short circuit, whose skipped starts
+// are solved but then ignored.
 func MultiStart(run func(p *Problem, x0 []float64, opts Options) (Report, error),
 	p *Problem, starts [][]float64, opts Options) (Report, error) {
 	if err := p.Validate(); err != nil {
@@ -20,18 +30,50 @@ func MultiStart(run func(p *Problem, x0 []float64, opts Options) (Report, error)
 		return Report{}, fmt.Errorf("solver: MultiStart needs at least one starting point")
 	}
 	n := p.Dim()
-	best := Report{F: math.Inf(1), MaxViolation: math.Inf(1)}
-	var totalEvals, totalIters int
-	feasTol := opts.tol()
-
 	for i, x0 := range starts {
 		if len(x0) != n {
 			return Report{}, fmt.Errorf("solver: start %d has dimension %d, want %d", i, len(x0), n)
 		}
-		rep, err := run(p, x0, opts)
-		if err != nil {
-			return Report{}, fmt.Errorf("solver: start %d: %w", i, err)
+	}
+
+	workers := opts.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	reps := make([]Report, len(starts))
+	if workers == 1 {
+		// Serial launch: stop issuing solves at the first early stop (the
+		// zero Reports past it are never read by the reduction below).
+		for i, x0 := range starts {
+			rep, err := run(p, x0, opts)
+			if err != nil {
+				return Report{}, fmt.Errorf("solver: start %d: %w", i, err)
+			}
+			reps[i] = rep
+			if rep.EarlyStopped {
+				break
+			}
 		}
+	} else {
+		err := parallel.ForEach(context.Background(), len(starts), workers, func(i int) error {
+			rep, err := run(p, starts[i], opts)
+			if err != nil {
+				return fmt.Errorf("solver: start %d: %w", i, err)
+			}
+			reps[i] = rep
+			return nil
+		})
+		if err != nil {
+			return Report{}, err
+		}
+	}
+
+	// Deterministic reduction in start order, regardless of how the
+	// reports were produced.
+	best := Report{F: math.Inf(1), MaxViolation: math.Inf(1)}
+	var totalEvals, totalIters int
+	feasTol := opts.tol()
+	for _, rep := range reps {
 		totalEvals += rep.FuncEvals
 		totalIters += rep.Iterations
 

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -113,6 +114,49 @@ func TestCornerStarts(t *testing.T) {
 	}
 	if _, err := CornerStarts(big, 0.1); err == nil {
 		t.Error("9-dimensional corner enumeration accepted")
+	}
+}
+
+// TestMultiStartParallelMatchesSerial pins the fan-out contract: the
+// parallel launch must return a Report identical to the serial one —
+// selection, aggregate counters, and the early-stop short circuit
+// (replayed over the completed reports) included.
+func TestMultiStartParallelMatchesSerial(t *testing.T) {
+	p := twoBasins()
+	starts, err := CornerStarts(p, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := MultiStart(ActiveSetSQP, p, starts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MultiStart(ActiveSetSQP, p, starts, Options{Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("reports differ:\nserial   %+v\nparallel %+v", serial, par)
+	}
+
+	// Early stop: the parallel reduction must discard reports past the
+	// first early-stopped start, matching the serial break. StopWhen is a
+	// pure function of f so it is safe for the concurrent launch.
+	stop := func(x []float64, f float64) bool { return f < 1.5 }
+	es := [][]float64{{-3.5, 0}, {3.5, 0}, {0.1, 0.5}}
+	serialES, err := MultiStart(ActiveSetSQP, p, es, Options{StopWhen: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parES, err := MultiStart(ActiveSetSQP, p, es, Options{StopWhen: stop, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parES.EarlyStopped {
+		t.Error("parallel launch lost the early stop")
+	}
+	if !reflect.DeepEqual(serialES, parES) {
+		t.Errorf("early-stop reports differ:\nserial   %+v\nparallel %+v", serialES, parES)
 	}
 }
 

@@ -134,6 +134,12 @@ type Options struct {
 	// EarlyStopped=true. Algorithm 1 uses this to stop Optimization 2 as
 	// soon as 𝒯 < T_max.
 	StopWhen func(x []float64, f float64) bool
+	// Workers bounds MultiStart's parallel fan-out over starting points.
+	// Zero and one keep the historical serial launch (required when the
+	// problem's F/Cons/StopWhen are not safe for concurrent use);
+	// negative selects GOMAXPROCS. The iterative solvers themselves
+	// ignore this field.
+	Workers int
 }
 
 func (o Options) maxIter() int {

@@ -1,7 +1,8 @@
 #!/bin/sh
 # check.sh — the full verification gate for this repository:
 #
-#   build → go vet → oftecvet (project static analysis) → tests with -race
+#   build → go vet → oftecvet (project static analysis) → concurrency
+#   tests with -race → full tests with -race → parallel-sweep bench smoke
 #
 # Run from anywhere inside the module; exits nonzero on the first failure.
 set -eu
@@ -17,7 +18,19 @@ go vet ./...
 echo "== go run ./cmd/oftecvet ./..."
 go run ./cmd/oftecvet ./...
 
+# The concurrency surface first and by name, so a race in the evaluation
+# cache or the fan-out engine fails fast and unambiguously even if the
+# test names around it change.
+echo "== go test -race (evaluation-cache + fan-out concurrency)"
+go test -race -run 'Concurrent|Singleflight|Eviction|Stress|ParallelMatchesSerial|ForEach' \
+	./internal/core/... ./internal/experiments/... ./internal/solver/... ./internal/parallel/...
+
 echo "== go test -race ./..."
 go test -race ./...
+
+# One cold iteration of the 40×40 surface sweep in both serial and
+# parallel form, so the fan-out path is exercised end-to-end on every gate.
+echo "== go test -bench=SurfaceGrid -benchtime=1x"
+go test -run '^$' -bench 'SurfaceGrid' -benchtime 1x .
 
 echo "== check.sh: all gates passed"
