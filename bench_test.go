@@ -304,6 +304,124 @@ func BenchmarkTransientBoost(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluate is the hot-path trajectory benchmark: one linearized
+// steady-state evaluation (constraint (14)) at the paper's full
+// resolution, cycling a small set of operating points the way an
+// optimizer's line searches revisit a neighborhood. scripts/bench.sh
+// records its ns/op, allocs/op, and CG iteration count in
+// BENCH_evaluate.json so successive PRs can be compared.
+func BenchmarkEvaluate(b *testing.B) {
+	setup := fullSetup()
+	sys, err := setup.System("Basicmath")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sys.Model()
+	var iters int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		omega := 220 + 25*float64(i%8)
+		itec := 1 + 0.2*float64(i%4)
+		res, err := m.Evaluate(omega, itec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Runaway {
+			b.Fatal("unexpected runaway")
+		}
+		iters = res.SolveStats.Iterations
+	}
+	b.ReportMetric(float64(iters), "cg-iters")
+}
+
+// BenchmarkEvaluateExact is the EvaluateExact-heavy trajectory benchmark:
+// the fixed-point iteration with exact exponential leakage, whose system
+// matrix is identical across outer iterations.
+func BenchmarkEvaluateExact(b *testing.B) {
+	setup := fullSetup()
+	sys, err := setup.System("Basicmath")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sys.Model()
+	var outer, iters int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		omega := 240 + 20*float64(i%4)
+		res, err := m.EvaluateExact(omega, 1.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Runaway {
+			b.Fatal("unexpected runaway")
+		}
+		outer = res.OuterIterations
+		iters = res.SolveStats.Iterations
+	}
+	b.ReportMetric(float64(outer), "outer-iters")
+	b.ReportMetric(float64(iters), "cg-iters")
+}
+
+// BenchmarkEvaluateCold measures the fresh-solve cost: every iteration
+// uses a distinct operating point, so the result memo and the
+// factorization cache miss and the full assemble + IC(0) + preconditioned
+// CG pipeline runs. Together with BenchmarkEvaluate (the repeated-point
+// pattern) this brackets the hot path: memo hit at the floor, cold solve
+// at the ceiling.
+func BenchmarkEvaluateCold(b *testing.B) {
+	setup := fullSetup()
+	sys, err := setup.System("Basicmath")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sys.Model()
+	var iters int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		omega := 220 + 1e-4*float64(i)
+		res, err := m.Evaluate(omega, 1.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Runaway {
+			b.Fatal("unexpected runaway")
+		}
+		iters = res.SolveStats.Iterations
+	}
+	b.ReportMetric(float64(iters), "cg-iters")
+}
+
+// BenchmarkEvaluateExactCold is the fresh-solve cost of the exact
+// fixed-point path: distinct operating points defeat the result memo, so
+// each iteration pays the full outer loop (with its one shared
+// factorization and warm-started inner solves).
+func BenchmarkEvaluateExactCold(b *testing.B) {
+	setup := fullSetup()
+	sys, err := setup.System("Basicmath")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sys.Model()
+	var outer int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		omega := 240 + 1e-4*float64(i)
+		res, err := m.EvaluateExact(omega, 1.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Runaway {
+			b.Fatal("unexpected runaway")
+		}
+		outer = res.OuterIterations
+	}
+	b.ReportMetric(float64(outer), "outer-iters")
+}
+
 // BenchmarkSteadyStateSolve is the micro-benchmark under everything above:
 // one assembly + sparse solve of constraint (14) at the paper's full
 // resolution (the cost of a single objective evaluation).

@@ -7,6 +7,7 @@
 //	oftec [-bench Basicmath] [-mode oftec|var|fixed|teconly]
 //	      [-method sqp|interior|trust|neldermead] [-opt2] [-exact]
 //	      [-res 16] [-tmax 90] [-ambient 45]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"oftec/internal/core"
 	"oftec/internal/experiments"
+	"oftec/internal/profiling"
 	"oftec/internal/thermal"
 	"oftec/internal/units"
 	"oftec/internal/workload"
@@ -40,8 +42,24 @@ func main() {
 		cfgPath = flag.String("config", "", "load the package configuration from a JSON file (see -saveconfig)")
 		cfgDump = flag.String("saveconfig", "", "write the effective configuration as JSON to this file and exit")
 		heatmap = flag.String("heatmap", "", "write the chip-layer temperature field at the optimum as CSV")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the controller run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile on exit to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// finishProfiles runs on the normal exit paths (including the
+	// infeasible os.Exit(2) below); log.Fatal paths abandon the profiles.
+	finishProfiles := func() {
+		if err := stopProfiles(); err != nil {
+			log.Print(err)
+		}
+	}
+	defer finishProfiles()
 
 	cfg := thermal.DefaultConfig()
 	if *cfgPath != "" {
@@ -160,6 +178,7 @@ func main() {
 		fmt.Printf("\n  chip heatmap written to %s\n", *heatmap)
 	}
 	if !out.Feasible {
+		finishProfiles()
 		os.Exit(2)
 	}
 }

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	sweep [-bench Basicmath] [-nomega 40] [-ni 26] [-res 16] [-parallel 0] [-o out.csv]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Grid points are independent steady-state solves and are fanned out
 // across -parallel workers (0 sizes the pool to GOMAXPROCS, 1 forces the
@@ -20,6 +21,7 @@ import (
 	"os"
 
 	"oftec/internal/experiments"
+	"oftec/internal/profiling"
 	"oftec/internal/thermal"
 	"oftec/internal/workload"
 )
@@ -29,14 +31,29 @@ func main() {
 	log.SetPrefix("sweep: ")
 
 	var (
-		bench  = flag.String("bench", "Basicmath", "benchmark name (the paper plots Basicmath)")
-		nOmega = flag.Int("nomega", 40, "grid points along the ω axis")
-		nI     = flag.Int("ni", 26, "grid points along the I_TEC axis")
-		res    = flag.Int("res", 16, "chip-layer grid resolution")
-		par    = flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = serial)")
-		out    = flag.String("o", "", "output file (default stdout)")
+		bench      = flag.String("bench", "Basicmath", "benchmark name (the paper plots Basicmath)")
+		nOmega     = flag.Int("nomega", 40, "grid points along the ω axis")
+		nI         = flag.Int("ni", 26, "grid points along the I_TEC axis")
+		res        = flag.Int("res", 16, "chip-layer grid resolution")
+		par        = flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = serial)")
+		out        = flag.String("o", "", "output file (default stdout)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile on exit to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Profiles are finalized on the normal exit paths; a log.Fatal above
+	// abandons them, which is fine — there is nothing worth profiling in a
+	// run that failed to start.
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	cfg := thermal.DefaultConfig()
 	cfg.ChipRes = *res

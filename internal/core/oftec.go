@@ -47,6 +47,15 @@ type Options struct {
 	// pool to GOMAXPROCS; one forces the serial reference path. Results
 	// are identical either way.
 	Workers int
+	// WarmStart threads each converged temperature field into the next
+	// solve as the iterative solver's starting point. Line searches probe
+	// nearby operating points, so warm starts cut the CG iteration count
+	// of every cache miss. The hint only steers the solver — each point's
+	// answer still agrees with the cold path to solver tolerance — but
+	// solutions are no longer bit-identical to a cold-started run, so the
+	// option defaults to off and determinism-sensitive comparisons should
+	// leave it off.
+	WarmStart bool
 }
 
 func (o Options) tMax(cfg thermal.Config) float64 {
@@ -149,9 +158,13 @@ func (s *System) Run(opts Options) (*Outcome, error) {
 	x0 := []float64{(lower[0] + upper[0]) / 2, (lower[1] + upper[1]) / 2}
 
 	tMaxSolve := opts.tMax(cfg) - opts.margin()
-	tempObj := func(x []float64) float64 { return s.maxTemp(x[0], x[1]) }
-	tempCons := func(x []float64) float64 { return s.maxTemp(x[0], x[1]) - tMaxSolve }
-	powerObj := func(x []float64) float64 { return s.coolingPower(x[0], x[1]) }
+	eval := evalFunc(s.Evaluate)
+	if opts.WarmStart {
+		eval = (&warmCarry{sys: s}).evaluate
+	}
+	tempObj := func(x []float64) float64 { return maxTempObj(eval, x[0], x[1]) }
+	tempCons := func(x []float64) float64 { return maxTempObj(eval, x[0], x[1]) - tMaxSolve }
+	powerObj := func(x []float64) float64 { return coolingPowerObj(eval, x[0], x[1]) }
 
 	// Lines 2-5: feasibility phase (Optimization 2). When SkipOpt1 is set
 	// (MinimizeMaxTemp), Optimization 2 is solved unconditionally and to

@@ -183,6 +183,17 @@ func (s *System) CacheStats() CacheStats {
 // the linearized-leakage solve the optimizers work with. Concurrent
 // callers requesting the same quantized point share one solve.
 func (s *System) Evaluate(omega, itec float64) (*thermal.Result, error) {
+	return s.EvaluateWarm(omega, itec, nil)
+}
+
+// EvaluateWarm is Evaluate with an optional warm-start temperature field
+// (length Model.NumNodes), typically the T of a neighboring operating
+// point. The hint only steers the iterative solver on a genuine cache
+// miss — hits and coalesced waits return the already-solved result and
+// ignore it — so the answer for a given point is the same either way; the
+// hint merely makes the cold solve cheaper. The warm slice is read, never
+// written.
+func (s *System) EvaluateWarm(omega, itec float64, warm []float64) (*thermal.Result, error) {
 	key := opKey{quantize(omega), quantize(itec)}
 	s.mu.Lock()
 	if r, ok := s.lookupLocked(key); ok {
@@ -205,7 +216,7 @@ func (s *System) Evaluate(omega, itec float64) (*thermal.Result, error) {
 	if hook != nil {
 		hook(omega, itec)
 	}
-	fl.res, fl.err = s.model.Evaluate(omega, itec)
+	fl.res, fl.err = s.model.EvaluateWarm(omega, itec, warm)
 
 	s.mu.Lock()
 	delete(s.inflight, key)
@@ -247,22 +258,65 @@ func (s *System) storeLocked(key opKey, r *thermal.Result) {
 // last-bit noise from the line searches.
 func quantize(v float64) float64 { return math.Round(v*1e9) / 1e9 }
 
-// maxTemp is the 𝒯 objective; runaway maps to the Infeasible sentinel.
-func (s *System) maxTemp(omega, itec float64) float64 {
-	r, err := s.Evaluate(omega, itec)
+// evalFunc abstracts the steady-state evaluation so Run can swap the
+// plain cached path for a warm-start carry (Options.WarmStart).
+type evalFunc func(omega, itec float64) (*thermal.Result, error)
+
+// maxTempObj is the 𝒯 objective; runaway maps to the Infeasible sentinel.
+func maxTempObj(eval evalFunc, omega, itec float64) float64 {
+	r, err := eval(omega, itec)
 	if err != nil || r.Runaway {
 		return solver.Infeasible
 	}
 	return r.MaxChipTemp
 }
 
-// coolingPower is the 𝒫 objective.
-func (s *System) coolingPower(omega, itec float64) float64 {
-	r, err := s.Evaluate(omega, itec)
+// coolingPowerObj is the 𝒫 objective.
+func coolingPowerObj(eval evalFunc, omega, itec float64) float64 {
+	r, err := eval(omega, itec)
 	if err != nil || r.Runaway {
 		return solver.Infeasible
 	}
 	return r.CoolingPower()
+}
+
+// maxTemp is the 𝒯 objective on the plain cached path.
+func (s *System) maxTemp(omega, itec float64) float64 {
+	return maxTempObj(s.Evaluate, omega, itec)
+}
+
+// coolingPower is the 𝒫 objective on the plain cached path.
+func (s *System) coolingPower(omega, itec float64) float64 {
+	return coolingPowerObj(s.Evaluate, omega, itec)
+}
+
+// warmCarry hands each solve the previous converged temperature field as
+// its starting point — the optimizer's line searches move in small steps,
+// so consecutive solves are near each other and the iterative solver
+// converges in a fraction of the iterations. Safe for concurrent use
+// (MultiStart's corner launch shares one carry): the carry is advisory
+// only, so racing updates change which hint the next cold solve starts
+// from, never the converged result beyond solver tolerance.
+type warmCarry struct {
+	sys *System
+
+	mu sync.Mutex
+	t  []float64
+}
+
+func (w *warmCarry) evaluate(omega, itec float64) (*thermal.Result, error) {
+	w.mu.Lock()
+	warm := w.t
+	w.mu.Unlock()
+	res, err := w.sys.EvaluateWarm(omega, itec, warm)
+	if err == nil && !res.Runaway && res.T != nil {
+		// Result fields are shared and immutable; EvaluateWarm only reads
+		// the hint, so carrying the slice forward is safe.
+		w.mu.Lock()
+		w.t = res.T
+		w.mu.Unlock()
+	}
+	return res, err
 }
 
 // bounds returns the decision-variable box for a mode; x = (ω, I_TEC).

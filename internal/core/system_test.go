@@ -118,6 +118,13 @@ func TestHotKeySurvivesEviction(t *testing.T) {
 func TestEvaluateMixedTrafficStress(t *testing.T) {
 	s := benchSystem(t, "CRC32")
 	s.capacity = 4
+	// The thermal layer memoizes repeated operating points, which makes
+	// cache misses orders of magnitude faster than a real cold solve; on a
+	// single CPU a worker then churns the whole small cache within one
+	// scheduler slice and no overlap (hits, waits) can occur. Restore
+	// solver-scale miss latency so the stress keeps mixing the traffic
+	// classes it is meant to exercise.
+	s.solveHook = func(omega, itec float64) { time.Sleep(200 * time.Microsecond) }
 
 	var points []struct{ omega, itec float64 }
 	for i := 0; i < 24; i++ {

@@ -77,17 +77,21 @@ type SurfacePoint struct {
 }
 
 // Surface evaluates 𝒯(ω, I) and 𝒫(ω, I) on an nOmega×nI uniform grid for
-// one benchmark — the data behind Figure 6(a) and (b). Grid points are
-// independent steady-state solves, so they are fanned out across
-// GOMAXPROCS workers; the returned slice is in deterministic row-major
-// (ω, then I) order regardless.
+// one benchmark — the data behind Figure 6(a) and (b). Rows of constant ω
+// are independent, so they are fanned out across GOMAXPROCS workers; the
+// returned slice is in deterministic row-major (ω, then I) order
+// regardless.
 func Surface(setup Setup, benchName string, nOmega, nI int) ([]SurfacePoint, error) {
 	return SurfaceWorkers(setup, benchName, nOmega, nI, 0)
 }
 
 // SurfaceWorkers is Surface with an explicit fan-out width: zero sizes
-// the pool to GOMAXPROCS, one forces the serial reference path. Results
-// are identical for any width.
+// the pool to GOMAXPROCS, one forces the serial reference path. The unit
+// of parallelism is one ω-row: within a row the converged field at each
+// point warm-starts the next I step, which cuts the solver iterations on
+// the smooth stretches of the surface. The carry never crosses rows, so
+// every point's inputs are fixed by its own row alone and results are
+// identical for any worker count.
 func SurfaceWorkers(setup Setup, benchName string, nOmega, nI, workers int) ([]SurfacePoint, error) {
 	if nOmega < 2 || nI < 2 {
 		return nil, fmt.Errorf("experiments: surface grid %d×%d must be at least 2×2", nOmega, nI)
@@ -97,25 +101,27 @@ func SurfaceWorkers(setup Setup, benchName string, nOmega, nI, workers int) ([]S
 		return nil, err
 	}
 	cfg := setup.Config
-	total := nOmega * nI
-	out := make([]SurfacePoint, total)
-	err = parallel.ForEach(context.Background(), total, workers, func(k int) error {
-		i, j := k/nI, k%nI
+	out := make([]SurfacePoint, nOmega*nI)
+	err = parallel.ForEach(context.Background(), nOmega, workers, func(i int) error {
 		omega := cfg.Fan.OmegaMax * float64(i) / float64(nOmega-1)
-		itec := cfg.TEC.MaxCurrent * float64(j) / float64(nI-1)
-		res, err := sys.Evaluate(omega, itec)
-		if err != nil {
-			return err
+		var warm []float64
+		for j := 0; j < nI; j++ {
+			itec := cfg.TEC.MaxCurrent * float64(j) / float64(nI-1)
+			res, err := sys.EvaluateWarm(omega, itec, warm)
+			if err != nil {
+				return err
+			}
+			p := SurfacePoint{Omega: omega, ITEC: itec, Runaway: res.Runaway}
+			if res.Runaway {
+				p.MaxTemp = math.Inf(1)
+				p.Power = math.Inf(1)
+			} else {
+				p.MaxTemp = res.MaxChipTemp
+				p.Power = res.CoolingPower()
+				warm = res.T
+			}
+			out[i*nI+j] = p
 		}
-		p := SurfacePoint{Omega: omega, ITEC: itec, Runaway: res.Runaway}
-		if res.Runaway {
-			p.MaxTemp = math.Inf(1)
-			p.Power = math.Inf(1)
-		} else {
-			p.MaxTemp = res.MaxChipTemp
-			p.Power = res.CoolingPower()
-		}
-		out[k] = p
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,57 @@
+// Package profiling wires the runtime/pprof profile writers into the
+// CLIs. The sweep and controller commands expose -cpuprofile and
+// -memprofile flags through it, so the hot path (assembly, factorization
+// caching, preconditioned CG) can be inspected with `go tool pprof`
+// against a realistic workload instead of a micro-benchmark.
+package profiling
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the two file paths; an empty path disables
+// that profile. The returned stop function ends the CPU profile and
+// writes the heap profile, and must be called exactly once — call it on
+// the main exit path, before os.Exit.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			if cerr := cpuFile.Close(); cerr != nil {
+				err = cerr
+			}
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			// Collect garbage first so the heap profile reflects live
+			// allocations, not transient garbage from the run.
+			runtime.GC()
+			werr := pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return werr
+			}
+		}
+		return nil
+	}, nil
+}

@@ -63,8 +63,31 @@ func (b *Builder) N() int { return b.n }
 
 // Build sorts and merges the accumulated triplets into a CSR matrix.
 func (b *Builder) Build() (*CSR, error) {
+	return b.build(false)
+}
+
+// BuildWithDiagonal is Build with a structurally stored diagonal entry in
+// every row, zero-valued where no triplet contributed. Assembly paths that
+// later patch per-evaluation diagonal shifts into a shared sparsity
+// pattern (see CSR.WithValues) build their pattern this way so every
+// diagonal slot exists even on rows the base couplings missed.
+func (b *Builder) BuildWithDiagonal() (*CSR, error) {
+	return b.build(true)
+}
+
+func (b *Builder) build(forceDiag bool) (*CSR, error) {
 	if b.invalid != nil {
 		return nil, b.invalid
+	}
+	if forceDiag {
+		// Zero-valued diagonal triplets merge into existing diagonals and
+		// materialize the missing ones. Add is bypassed because it drops
+		// zero values.
+		for i := 0; i < b.n; i++ {
+			b.rows = append(b.rows, int32(i))
+			b.cols = append(b.cols, int32(i))
+			b.vals = append(b.vals, 0)
+		}
 	}
 	nnz := len(b.vals)
 	order := make([]int, nnz)
@@ -109,12 +132,23 @@ func (b *Builder) Build() (*CSR, error) {
 	return m, nil
 }
 
-// CSR is an immutable compressed-sparse-row matrix.
+// CSR is a compressed-sparse-row matrix. The sparsity pattern (rowPtr,
+// colIdx) is immutable once built; the value array is immutable for
+// matrices from Build, but matrices created with WithValues share the
+// pattern while owning a caller-managed value array that may be rewritten
+// between solves (the patched-assembly hot path).
 type CSR struct {
 	n      int
 	rowPtr []int32
 	colIdx []int32
 	values []float64
+
+	// sym caches the symmetry of the matrix: 0 unknown, +1 symmetric,
+	// -1 asymmetric. Stamped by MarkSymmetric; read by SymmetricHint.
+	sym int8
+	// version is an opaque value-version used to key factorization caches
+	// (see FactorCache); 0 means unversioned.
+	version uint64
 }
 
 // N returns the matrix dimension.
@@ -198,6 +232,88 @@ func (m *CSR) IsSymmetric(tol float64) bool {
 		}
 	}
 	return true
+}
+
+// MarkSymmetric stamps the matrix's symmetry so SolveAuto (and other
+// callers of SymmetricHint) can skip the O(nnz·log) per-solve symmetry
+// scan. Assembly paths that know their structure — e.g. a conduction
+// Laplacian patched only on the diagonal — stamp at build/refresh time.
+func (m *CSR) MarkSymmetric(sym bool) {
+	if sym {
+		m.sym = 1
+	} else {
+		m.sym = -1
+	}
+}
+
+// SymmetricHint reports whether the matrix is symmetric, trusting a
+// MarkSymmetric stamp when present and falling back to the full
+// IsSymmetric scan otherwise. The fallback does not write the stamp, so
+// concurrent solves on an unstamped shared matrix stay race-free.
+func (m *CSR) SymmetricHint(tol float64) bool {
+	switch m.sym {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	return m.IsSymmetric(tol)
+}
+
+// SetVersion stamps an opaque value-version on the matrix. Callers that
+// rewrite a shared-pattern value array between solves assign a version
+// that identifies the value content (e.g. derived from the operating
+// point), letting FactorCache reuse factorizations across matrices with
+// identical values. Version 0 means unversioned: never cached.
+func (m *CSR) SetVersion(v uint64) { m.version = v }
+
+// Version returns the stamped value-version (0 when unversioned).
+func (m *CSR) Version() uint64 { return m.version }
+
+// WithValues returns a matrix sharing the receiver's sparsity pattern
+// with the given value array, which the caller owns and may rewrite
+// between solves. len(values) must equal NNZ(). Symmetry and version
+// stamps are not inherited; the caller re-stamps after each refresh.
+func (m *CSR) WithValues(values []float64) (*CSR, error) {
+	if len(values) != len(m.values) {
+		return nil, fmt.Errorf("sparse: value array length %d does not match nnz %d", len(values), len(m.values))
+	}
+	return &CSR{n: m.n, rowPtr: m.rowPtr, colIdx: m.colIdx, values: values}, nil
+}
+
+// CopyValues copies the matrix's value array into dst, which must have
+// length NNZ(). It is the O(nnz) "numeric reset" of a patched assembly:
+// copy the base values, then patch the per-evaluation slots in place.
+func (m *CSR) CopyValues(dst []float64) error {
+	if len(dst) != len(m.values) {
+		return fmt.Errorf("sparse: destination length %d does not match nnz %d", len(dst), len(m.values))
+	}
+	copy(dst, m.values)
+	return nil
+}
+
+// DiagIndices returns, for each row, the index into the value array of
+// the stored diagonal entry. It errors on rows without a structural
+// diagonal (build the pattern with BuildWithDiagonal to guarantee one).
+// Assembly paths record these indices once so per-evaluation diagonal
+// patches are O(1) per slot.
+func (m *CSR) DiagIndices() ([]int32, error) {
+	idx := make([]int32, m.n)
+	for i := 0; i < m.n; i++ {
+		lo, hi := int(m.rowPtr[i]), int(m.rowPtr[i+1])
+		found := false
+		for k := lo; k < hi; k++ {
+			if int(m.colIdx[k]) == i {
+				idx[i] = int32(k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sparse: row %d has no stored diagonal entry", i)
+		}
+	}
+	return idx, nil
 }
 
 // WithAddedDiagonal returns a copy of the matrix with d[i] added to each

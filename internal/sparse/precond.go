@@ -3,6 +3,7 @@ package sparse
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Preconditioner approximates the inverse of a matrix: Apply computes
@@ -182,9 +183,19 @@ func (p *ICPreconditioner) buildTranspose() {
 }
 
 // Apply implements Preconditioner: dst = (L·Lᵀ)⁻¹ · r via one forward and
-// one backward triangular solve.
+// one backward triangular solve. Apply uses an internal work vector, so a
+// single ICPreconditioner must not serve concurrent solves through this
+// method — shared (cached) factorizations go through ApplyScratch.
 func (p *ICPreconditioner) Apply(dst, r []float64) {
-	y := p.work
+	p.ApplyScratch(dst, r, p.work)
+}
+
+// ApplyScratch is Apply with a caller-provided intermediate vector (length
+// N). The factor arrays are read-only after construction, so a cached
+// ICPreconditioner is safe for concurrent solves as long as each solve
+// brings its own scratch (see Workspace).
+func (p *ICPreconditioner) ApplyScratch(dst, r, scratch []float64) {
+	y := scratch
 	// Forward solve L·y = r (rows of L are sorted with the diagonal last).
 	for i := 0; i < p.n; i++ {
 		s := r[i]
@@ -206,6 +217,78 @@ func (p *ICPreconditioner) Apply(dst, r []float64) {
 	}
 }
 
+// FactorCache memoizes IC(0) factorizations keyed on the matrix
+// value-version (CSR.SetVersion). Assembly paths that rewrite a shared
+// sparsity pattern stamp each refresh with a version identifying the
+// value content; solves at a repeated version then reuse the
+// factorization instead of re-running the O(nnz) numeric factorization.
+// Matrices with version 0 (unversioned) are factorized fresh and never
+// cached. The cache is safe for concurrent use; cached preconditioners
+// must be applied via ApplyScratch (CGPrecond does this automatically).
+type FactorCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[uint64]factorEntry
+}
+
+// factorEntry records the outcome of one factorization; ic is nil when
+// the matrix was not SPD enough, so the failure is cached too and the
+// caller's fallback path does not retry the factorization every solve.
+type factorEntry struct {
+	ic *ICPreconditioner
+}
+
+// NewFactorCache returns a cache bounded to the given number of entries
+// (≤ 0 selects the default of 64). On overflow the cache is cleared
+// wholesale: factorizations rebuild in one pass, and the working set of
+// an optimization run is far below the bound.
+func NewFactorCache(capacity int) *FactorCache {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &FactorCache{capacity: capacity, entries: make(map[uint64]factorEntry)}
+}
+
+// IC returns the IC(0) preconditioner for a, factorizing on a version
+// miss. The second return is false when the factorization failed (matrix
+// not SPD enough) — callers then fall back exactly as they would on a
+// fresh NewICPreconditioner error.
+func (c *FactorCache) IC(a *CSR) (*ICPreconditioner, bool) {
+	v := a.Version()
+	if v == 0 {
+		ic, err := NewICPreconditioner(a)
+		return ic, err == nil
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[v]; ok {
+		c.mu.Unlock()
+		return e.ic, e.ic != nil
+	}
+	c.mu.Unlock()
+
+	// Factorize outside the lock so concurrent misses on different
+	// versions proceed in parallel; duplicated work on the same version
+	// is possible but harmless (last store wins, results are identical).
+	ic, err := NewICPreconditioner(a)
+	if err != nil {
+		ic = nil
+	}
+	c.mu.Lock()
+	if len(c.entries) >= c.capacity {
+		c.entries = make(map[uint64]factorEntry)
+	}
+	c.entries[v] = factorEntry{ic: ic}
+	c.mu.Unlock()
+	return ic, ic != nil
+}
+
+// Len reports the number of cached factorizations (test instrumentation).
+func (c *FactorCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
 // CGPrecond solves A·x = b with the conjugate gradient method under an
 // arbitrary symmetric preconditioner.
 func CGPrecond(a *CSR, b []float64, m Preconditioner, opts SolveOptions) ([]float64, Stats, error) {
@@ -220,7 +303,8 @@ func CGPrecond(a *CSR, b []float64, m Preconditioner, opts SolveOptions) ([]floa
 	if opts.X0 != nil {
 		copy(x, opts.X0)
 	}
-	r := make([]float64, n)
+	ws := opts.work(n)
+	r := ws.r
 	a.Residual(r, x, b)
 	bnorm := Norm2(b)
 	if bnorm == 0 {
@@ -228,10 +312,17 @@ func CGPrecond(a *CSR, b []float64, m Preconditioner, opts SolveOptions) ([]floa
 	}
 	tol := opts.tol()
 
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
-	m.Apply(z, r)
+	// Shared (cached) preconditioners are applied through a per-solve
+	// scratch vector so concurrent solves never contend on internal state.
+	apply := m.Apply
+	if sp, ok := m.(interface {
+		ApplyScratch(dst, r, scratch []float64)
+	}); ok {
+		apply = func(dst, r []float64) { sp.ApplyScratch(dst, r, ws.pre) }
+	}
+
+	z, p, ap := ws.z, ws.p, ws.ap
+	apply(z, r)
 	copy(p, z)
 	rz := Dot(r, z)
 
@@ -249,7 +340,7 @@ func CGPrecond(a *CSR, b []float64, m Preconditioner, opts SolveOptions) ([]floa
 		if res <= tol {
 			return x, Stats{Iterations: it, Residual: res}, nil
 		}
-		m.Apply(z, r)
+		apply(z, r)
 		rzNew := Dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew

@@ -23,6 +23,47 @@ type SolveOptions struct {
 	MaxIter int
 	// X0 is an optional warm-start; nil starts from zero.
 	X0 []float64
+	// Precond optionally supplies a preconditioner for SolveAuto's
+	// symmetric path, bypassing the per-solve IC(0) factorization —
+	// the hook for factorization caching (see FactorCache).
+	Precond Preconditioner
+	// Work optionally supplies reusable solver work arrays so repeated
+	// solves stay allocation-light. A Workspace must not be shared by
+	// concurrent solves.
+	Work *Workspace
+}
+
+// Workspace holds the per-solve scratch vectors of the CG-family solvers
+// so callers that solve in a loop (or from a sync.Pool) avoid per-call
+// allocation. The zero value is ready to use; vectors grow on demand and
+// are retained across solves.
+type Workspace struct {
+	r, z, p, ap, pre []float64
+}
+
+// grow sizes every scratch vector to length n.
+func (w *Workspace) grow(n int) {
+	grow1 := func(v []float64) []float64 {
+		if cap(v) < n {
+			return make([]float64, n)
+		}
+		return v[:n]
+	}
+	w.r = grow1(w.r)
+	w.z = grow1(w.z)
+	w.p = grow1(w.p)
+	w.ap = grow1(w.ap)
+	w.pre = grow1(w.pre)
+}
+
+// work returns the caller's workspace or a fresh one, sized to n.
+func (o SolveOptions) work(n int) *Workspace {
+	w := o.Work
+	if w == nil {
+		w = &Workspace{}
+	}
+	w.grow(n)
+	return w
 }
 
 func (o SolveOptions) tol() float64 {
@@ -57,7 +98,8 @@ func CG(a *CSR, b []float64, opts SolveOptions) ([]float64, Stats, error) {
 	if opts.X0 != nil {
 		copy(x, opts.X0)
 	}
-	r := make([]float64, n)
+	ws := opts.work(n)
+	r := ws.r
 	a.Residual(r, x, b)
 
 	bnorm := Norm2(b)
@@ -67,17 +109,16 @@ func CG(a *CSR, b []float64, opts SolveOptions) ([]float64, Stats, error) {
 	tol := opts.tol()
 
 	// Jacobi preconditioner M = diag(A).
-	invDiag := a.Diagonal()
-	for i, d := range invDiag {
+	invDiag := ws.pre
+	for i := range invDiag {
+		d := a.At(i, i)
 		if d == 0 {
 			return nil, Stats{}, fmt.Errorf("sparse: zero diagonal at row %d; Jacobi preconditioner undefined", i)
 		}
 		invDiag[i] = 1 / d
 	}
 
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
+	z, p, ap := ws.z, ws.p, ws.ap
 	for i := range z {
 		z[i] = invDiag[i] * r[i]
 	}
@@ -249,7 +290,7 @@ func SOR(a *CSR, b []float64, relax float64, opts SolveOptions) ([]float64, Stat
 			gs := (b[i] - sum) / diag
 			x[i] += relax * (gs - x[i])
 		}
-		if res := a.Residual(r, x, b); res/ (1+bnorm) <= tol || Norm2(r)/bnorm <= tol {
+		if res := a.Residual(r, x, b); res/(1+bnorm) <= tol || Norm2(r)/bnorm <= tol {
 			return x, Stats{Iterations: it, Residual: Norm2(r) / bnorm}, nil
 		}
 	}
@@ -359,18 +400,25 @@ func (f *LU) Det() float64 {
 // SolveAuto solves A·x = b choosing a method automatically: CG first when
 // the matrix is symmetric, falling back to BiCGSTAB, then dense LU for
 // systems small enough to factorize. It is the entry point used by the
-// thermal package.
+// thermal package. A MarkSymmetric stamp on the matrix skips the
+// per-solve symmetry scan, and SolveOptions.Precond skips the per-solve
+// IC(0) factorization (factorization caching).
 func SolveAuto(a *CSR, b []float64, opts SolveOptions) ([]float64, Stats, error) {
 	const denseLimit = 3000
 
-	sym := a.IsSymmetric(1e-12)
-	if sym {
+	if a.SymmetricHint(1e-12) {
 		// IC(0)-preconditioned CG first: on the conduction-dominated
 		// thermal matrices it converges in a fraction of the Jacobi
 		// iterations. Factorization failure (indefinite matrix near
 		// thermal runaway) falls through to the Jacobi variants.
-		if ic, err := NewICPreconditioner(a); err == nil {
-			if x, st, err := CGPrecond(a, b, ic, opts); err == nil {
+		pre := opts.Precond
+		if pre == nil {
+			if ic, err := NewICPreconditioner(a); err == nil {
+				pre = ic
+			}
+		}
+		if pre != nil {
+			if x, st, err := CGPrecond(a, b, pre, opts); err == nil {
 				return x, st, nil
 			}
 		}
@@ -390,9 +438,17 @@ func SolveAuto(a *CSR, b []float64, opts SolveOptions) ([]float64, Stats, error)
 		if err != nil {
 			return nil, Stats{}, err
 		}
+		// Report the same statistic as the iterative solvers: the relative
+		// 2-norm residual ‖b−Ax‖₂/‖b‖₂ that SolveOptions.Tol is defined
+		// against (the historical res/(1+‖b‖) mixed an ∞-norm numerator
+		// with a shifted denominator and understated the residual).
 		r := make([]float64, a.N())
-		res := a.Residual(r, x, b)
-		return x, Stats{Iterations: 1, Residual: res / (1 + Norm2(b))}, nil
+		a.Residual(r, x, b)
+		res := Norm2(r)
+		if bnorm := Norm2(b); bnorm > 0 {
+			res /= bnorm
+		}
+		return x, Stats{Iterations: 1, Residual: res}, nil
 	}
 	return nil, Stats{}, ErrNoConvergence
 }

@@ -107,17 +107,26 @@ func (tr *Transient) ChipState() (maxTemp float64, temps []float64) {
 }
 
 // Step advances the simulation by dt seconds with one backward-Euler
-// solve and returns the maximum chip temperature after the step.
+// solve and returns the maximum chip temperature after the step. The
+// backward-Euler system is the steady-state matrix plus C/Δt on the
+// diagonal, assembled through the shared symbolic pattern (the shift is
+// diagonal, so the pattern is unchanged) and versioned on (ω, I, Δt): a
+// fixed-step integration reuses one IC(0) factorization across all steps.
 func (tr *Transient) Step(dt float64) (float64, error) {
 	if dt <= 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
 		return 0, fmt.Errorf("thermal: step size %g must be positive and finite", dt)
 	}
 	m := tr.model
-	mat, rhs, err := m.assembleTransient(tr.omega, tr.itec, tr.temps, dt, tr.caps)
-	if err != nil {
-		return 0, err
+	sc := m.getScratch()
+	defer m.putScratch(sc)
+	m.assembleInto(sc, tr.omega, m.uniformCurrent(tr.itec), true, nil)
+	for i, c := range tr.caps {
+		cdt := c / dt
+		sc.vals[m.diagIdx[i]] += cdt
+		sc.rhs[i] += cdt * tr.temps[i]
 	}
-	next, _, err := sparse.SolveAuto(mat, rhs, sparse.SolveOptions{Tol: 1e-9, MaxIter: 20 * m.n, X0: tr.temps})
+	sc.mat.SetVersion(m.versionFor(verKey{omega: tr.omega, itec: tr.itec, dt: dt, linear: true}))
+	next, _, err := m.solveScratch(sc, tr.temps)
 	if err != nil {
 		return 0, fmt.Errorf("thermal: transient solve failed at t=%g: %w", tr.now, err)
 	}
@@ -125,26 +134,6 @@ func (tr *Transient) Step(dt float64) (float64, error) {
 	tr.now += dt
 	maxTemp, _ := tr.ChipState()
 	return maxTemp, nil
-}
-
-// assembleTransient builds the backward-Euler system: the steady-state
-// matrix plus C/Δt on the diagonal (an O(nnz) pattern-preserving copy),
-// and the matching (C/Δt)·T_n term on the right-hand side.
-func (m *Model) assembleTransient(omega, itec float64, tPrev []float64, dt float64, caps []float64) (*sparse.CSR, []float64, error) {
-	mat, rhs, err := m.assemble(omega, m.uniformCurrent(itec), true, nil)
-	if err != nil {
-		return nil, nil, err
-	}
-	cdt := make([]float64, m.n)
-	for i := range cdt {
-		cdt[i] = caps[i] / dt
-		rhs[i] += cdt[i] * tPrev[i]
-	}
-	out, err := mat.WithAddedDiagonal(cdt)
-	if err != nil {
-		return nil, nil, err
-	}
-	return out, rhs, nil
 }
 
 // SteadyStateGap returns the infinity-norm difference between the current

@@ -3,6 +3,8 @@ package thermal
 import (
 	"fmt"
 	"math"
+
+	"oftec/internal/sparse"
 )
 
 // Zoning partitions the TEC deployment into independently driven control
@@ -91,15 +93,13 @@ func (m *Model) EvaluateZoned(omega float64, z *Zoning, currents []float64) (*Re
 	}
 
 	cur := func(cell int) float64 { return currents[z.zoneOf[cell]] }
-	mat, rhs, err := m.assemble(omega, cur, true, nil)
-	if err != nil {
-		return nil, err
-	}
-	warm := make([]float64, m.n)
-	for i := range warm {
-		warm[i] = m.cfg.Ambient
-	}
-	t, stats, err := m.solve(mat, rhs, warm)
+	sc := m.getScratch()
+	defer m.putScratch(sc)
+	// Zoned current patterns are left unversioned: the factor cache keys on
+	// scalar operating points only, and a wrong reuse would be silent.
+	m.assembleInto(sc, omega, cur, true, nil)
+	sparse.Fill(sc.warm, m.cfg.Ambient)
+	t, stats, err := m.solveScratch(sc, sc.warm)
 	if err != nil || !m.physical(t) {
 		return m.runawayResult(omega, maxCur, stats), nil
 	}

@@ -1,0 +1,80 @@
+#!/bin/sh
+# bench.sh — the hot-path benchmark trajectory for this repository.
+#
+# Runs the steady-state evaluation benchmarks (repeated-point and cold
+# variants, plus the assembly micro-benchmarks) and writes the parsed
+# numbers to BENCH_evaluate.json next to the frozen pre-optimization
+# baseline, together with the per-benchmark speedup and allocation ratios.
+# Successive PRs diff the JSON instead of eyeballing `go test -bench`
+# output.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=5s scripts/bench.sh       # longer runs for stabler numbers
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+OUT="${1:-BENCH_evaluate.json}"
+raw="$(mktemp)"
+parsed="$(mktemp)"
+current="$(mktemp)"
+trap 'rm -f "$raw" "$parsed" "$current"' EXIT
+
+echo "== go test -bench (hot path, benchtime $BENCHTIME)"
+go test -run '^$' \
+	-bench '^(BenchmarkEvaluate|BenchmarkEvaluateExact|BenchmarkEvaluateCold|BenchmarkEvaluateExactCold)$' \
+	-benchtime "$BENCHTIME" -benchmem . | tee "$raw"
+go test -run '^$' \
+	-bench '^(BenchmarkAssemble|BenchmarkAssembleReference)$' \
+	-benchtime "$BENCHTIME" -benchmem ./internal/thermal | tee -a "$raw"
+
+# One JSON object per benchmark line: the name plus every value/unit pair
+# (ns/op, B/op, allocs/op, and custom metrics like cg-iters).
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	printf "{\"name\":\"%s\",\"iterations\":%s", name, $2
+	for (i = 3; i < NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/\//, "_per_", unit)
+		gsub(/[^A-Za-z0-9]+/, "_", unit)
+		printf ",\"%s\":%s", unit, $i
+	}
+	print "}"
+}' "$raw" >"$parsed"
+
+jq -s 'map({(.name): del(.name)}) | add' "$parsed" >"$current"
+
+# The baseline block is the pre-optimization state of this repository
+# (Builder assembly per evaluation, fresh IC(0) per solve, no scratch
+# reuse), measured with benchtime 2s on the reference container. It is
+# frozen so every future run compares against the same origin.
+jq -n \
+	--arg benchtime "$BENCHTIME" \
+	--slurpfile current "$current" \
+	'
+	{
+		BenchmarkEvaluate:      {ns_per_op: 5645555,  allocs_per_op: 89,  B_per_op: 2452920,  cg_iters: 29},
+		BenchmarkEvaluateExact: {ns_per_op: 27096774, allocs_per_op: 520, B_per_op: 14612352, outer_iters: 6},
+		BenchmarkAssemble:      {ns_per_op: 3818399,  allocs_per_op: 70,  B_per_op: 2098296}
+	} as $baseline |
+	$current[0] as $cur |
+	{
+		benchtime: $benchtime,
+		baseline: $baseline,
+		current: $cur,
+		speedup: ($baseline | to_entries
+			| map(select($cur[.key] != null)
+				| {key: .key, value: {
+					ns: (.value.ns_per_op / $cur[.key].ns_per_op),
+					# 0 allocs/op divides as 1 so the ratio stays finite;
+					# read it as "at least this many times fewer".
+					allocs: (.value.allocs_per_op / ([$cur[.key].allocs_per_op, 1] | max))
+				}})
+			| from_entries)
+	}' >"$OUT"
+
+echo "== wrote $OUT"
+jq '.speedup' "$OUT"

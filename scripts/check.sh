@@ -33,4 +33,14 @@ go test -race ./...
 echo "== go test -bench=SurfaceGrid -benchtime=1x"
 go test -run '^$' -bench 'SurfaceGrid' -benchtime 1x .
 
+# One iteration of each hot-path benchmark (repeated-point, cold, and
+# assembly), so the symbolic-reuse path stays exercised on every gate;
+# scripts/bench.sh runs the same set at full benchtime for the recorded
+# numbers in BENCH_evaluate.json.
+echo "== go test -bench (hot-path smoke, benchtime=1x)"
+go test -run '^$' \
+	-bench '^(BenchmarkEvaluate|BenchmarkEvaluateExact|BenchmarkEvaluateCold|BenchmarkEvaluateExactCold)$' \
+	-benchtime 1x .
+go test -run '^$' -bench '^BenchmarkAssemble$' -benchtime 1x ./internal/thermal
+
 echo "== check.sh: all gates passed"
