@@ -171,8 +171,9 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, r := range rows {
-			fmt.Printf("  %-16s feasible=%-5t 𝒫=%.2f W  runtime=%-8v evals=%d\n",
-				r.Method, r.Feasible, r.PowerW, r.Runtime.Round(time.Millisecond), r.FuncEvals)
+			fmt.Printf("  %-16s feasible=%-5t 𝒫=%.2f W  runtime=%-8v evals=%-6d converged=%-5t stopped=%s\n",
+				r.Method, r.Feasible, r.PowerW, r.Runtime.Round(time.Millisecond), r.FuncEvals,
+				r.Converged, r.Stopped)
 		}
 		fmt.Println()
 	}

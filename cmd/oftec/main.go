@@ -5,12 +5,14 @@
 // Usage:
 //
 //	oftec [-bench Basicmath] [-mode oftec|var|fixed|teconly]
-//	      [-method sqp|interior|trust|neldermead] [-opt2] [-exact]
+//	      [-method sqp|interior|trust|neldermead|hooke] [-opt2] [-exact]
+//	      [-fallback] [-timeout 30s] [-trace]
 //	      [-res 16] [-tmax 90] [-ambient 45]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -21,6 +23,7 @@ import (
 	"oftec/internal/core"
 	"oftec/internal/experiments"
 	"oftec/internal/profiling"
+	"oftec/internal/solver"
 	"oftec/internal/thermal"
 	"oftec/internal/units"
 	"oftec/internal/workload"
@@ -33,9 +36,13 @@ func main() {
 	var (
 		bench   = flag.String("bench", "Basicmath", "benchmark name (one of "+strings.Join(workload.Names, ", ")+")")
 		mode    = flag.String("mode", "oftec", "cooling mode: oftec, var, fixed, teconly")
-		method  = flag.String("method", "sqp", "NLP method: sqp, interior, trust, neldermead")
+		method  = flag.String("method", "sqp", "NLP method: sqp, interior, trust, neldermead, hooke")
 		opt2    = flag.Bool("opt2", false, "solve Optimization 2 only (minimize the maximum temperature)")
 		exact   = flag.Bool("exact", false, "verify the result with the exact exponential leakage model")
+
+		fallback = flag.Bool("fallback", false, "on non-convergence, retry with the solver fallback chain (method, then sqp → interior → hooke)")
+		timeout  = flag.Duration("timeout", 0, "bound the whole solve; on expiry the best point found so far is reported (0 = none)")
+		trace    = flag.Bool("trace", false, "dump the last per-iteration solver trace records to stderr")
 		res     = flag.Int("res", 16, "chip-layer grid resolution (cells per edge)")
 		tmaxC   = flag.Float64("tmax", 90, "thermal threshold T_max in °C")
 		ambient = flag.Float64("ambient", 45, "ambient temperature in °C")
@@ -117,8 +124,21 @@ func main() {
 		opts.Method = core.MethodTrustRegion
 	case "neldermead":
 		opts.Method = core.MethodNelderMead
+	case "hooke":
+		opts.Method = core.MethodHookeJeeves
 	default:
 		log.Fatalf("unknown method %q", *method)
+	}
+	opts.Fallback = *fallback
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Solver.Ctx = ctx
+	}
+	var ring *solver.TraceRing
+	if *trace {
+		ring = solver.NewTraceRing(solver.DefaultTraceCapacity)
+		opts.Solver.Trace = ring.Record
 	}
 
 	setup := experiments.Setup{Config: cfg, Benchmarks: workload.All()}
@@ -141,7 +161,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if ring != nil {
+		fmt.Fprintf(os.Stderr, "solver trace (last %d of %d records):\n", len(ring.Records()), ring.Total())
+		if err := ring.Dump(os.Stderr); err != nil {
+			log.Print(err)
+		}
+	}
 	fmt.Println(out)
+	fmt.Printf("  solver verdict      opt2: %s, opt1: %s\n", reportVerdict(out.Opt2Report), reportVerdict(out.Opt1Report))
 	if out.Result != nil && !out.Result.Runaway {
 		r := out.Result
 		fmt.Printf("\n  𝒯 (max chip temp)   %.2f °C\n", units.KToC(r.MaxChipTemp))
@@ -181,4 +208,13 @@ func main() {
 		finishProfiles()
 		os.Exit(2)
 	}
+}
+
+// reportVerdict renders a solver report's stop reason, or "not run" for
+// the zero Report of a phase Algorithm 1 skipped.
+func reportVerdict(rep solver.Report) string {
+	if rep.Stopped == solver.StopUnset {
+		return "not run"
+	}
+	return rep.Stopped.String()
 }

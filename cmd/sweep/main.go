@@ -6,15 +6,19 @@
 //
 // Usage:
 //
-//	sweep [-bench Basicmath] [-nomega 40] [-ni 26] [-res 16] [-parallel 0] [-o out.csv]
+//	sweep [-bench Basicmath] [-nomega 40] [-ni 26] [-res 16] [-parallel 0]
+//	      [-timeout 5m] [-o out.csv]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Grid points are independent steady-state solves and are fanned out
 // across -parallel workers (0 sizes the pool to GOMAXPROCS, 1 forces the
-// serial reference path); the CSV is identical for any width.
+// serial reference path); the CSV is identical for any width. -timeout
+// bounds the whole sweep: on expiry it exits nonzero without partial CSV
+// (rows complete out of order, so a partial surface would have holes).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -36,6 +40,7 @@ func main() {
 		nI         = flag.Int("ni", 26, "grid points along the I_TEC axis")
 		res        = flag.Int("res", 16, "chip-layer grid resolution")
 		par        = flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = serial)")
+		timeout    = flag.Duration("timeout", 0, "bound the whole sweep; on expiry exit nonzero (0 = none)")
 		out        = flag.String("o", "", "output file (default stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile on exit to this file")
@@ -59,7 +64,13 @@ func main() {
 	cfg.ChipRes = *res
 	setup := experiments.Setup{Config: cfg, Benchmarks: workload.All()}
 
-	pts, err := experiments.SurfaceWorkers(setup, *bench, *nOmega, *nI, *par)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	pts, err := experiments.SurfaceContext(ctx, setup, *bench, *nOmega, *nI, *par)
 	if err != nil {
 		log.Fatal(err)
 	}

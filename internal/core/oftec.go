@@ -47,6 +47,14 @@ type Options struct {
 	// pool to GOMAXPROCS; one forces the serial reference path. Results
 	// are identical either way.
 	Workers int
+	// Fallback runs each optimization through the solver fallback chain
+	// (selected method first, then SQP → interior point → Hooke-Jeeves
+	// with the duplicate removed): when a stage fails to converge to a
+	// feasible point, the next method restarts from the best iterate so
+	// far. Off by default so the paper's method-vs-method comparisons
+	// measure one technique at a time; reports then aggregate evaluation
+	// counts across every stage that ran.
+	Fallback bool
 	// WarmStart threads each converged temperature field into the next
 	// solve as the iterative solver's starting point. Line searches probe
 	// nearby operating points, so warm starts cut the CG iteration count
@@ -166,6 +174,17 @@ func (s *System) Run(opts Options) (*Outcome, error) {
 	tempCons := func(x []float64) float64 { return maxTempObj(eval, x[0], x[1]) - tMaxSolve }
 	powerObj := func(x []float64) float64 { return coolingPowerObj(eval, x[0], x[1]) }
 
+	// Both phases solve through one runner: the bare method, or the
+	// fallback chain when requested. MultiStart composes by running the
+	// chain from each start.
+	solve := solver.Runner(opts.Method.run)
+	if opts.Fallback {
+		chain := opts.Method.fallbackChain()
+		solve = func(p *solver.Problem, x0 []float64, so solver.Options) (solver.Report, error) {
+			return solver.Fallback(chain, p, x0, so)
+		}
+	}
+
 	// Lines 2-5: feasibility phase (Optimization 2). When SkipOpt1 is set
 	// (MinimizeMaxTemp), Optimization 2 is solved unconditionally and to
 	// convergence; inside Algorithm 1 it only runs when the starting point
@@ -185,7 +204,7 @@ func (s *System) Run(opts Options) (*Outcome, error) {
 				return prev != nil && prev(x, f)
 			}
 		}
-		rep, err := opts.Method.run(p2, x0, o2)
+		rep, err := solve(p2, x0, o2)
 		if err != nil {
 			return nil, fmt.Errorf("core: optimization 2 failed: %w", err)
 		}
@@ -239,9 +258,9 @@ func (s *System) Run(opts Options) (*Outcome, error) {
 			// corner launch fans out unless the caller pinned a width.
 			so.Workers = parallel.Workers(opts.Workers)
 		}
-		rep, err = solver.MultiStart(opts.Method.run, p1, starts, so)
+		rep, err = solver.MultiStart(solve, p1, starts, so)
 	} else {
-		rep, err = opts.Method.run(p1, x1, opts.Solver)
+		rep, err = solve(p1, x1, opts.Solver)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: optimization 1 failed: %w", err)

@@ -103,6 +103,40 @@ func (m Method) run(p *solver.Problem, x0 []float64, opts solver.Options) (solve
 	}
 }
 
+// chainName is the short stage label used in fallback chains; it matches
+// the cmd/oftec -method spelling for the method.
+func (m Method) chainName() string {
+	switch m {
+	case MethodSQP:
+		return "sqp"
+	case MethodInteriorPoint:
+		return "interior"
+	case MethodTrustRegion:
+		return "trust"
+	case MethodNelderMead:
+		return "neldermead"
+	case MethodHookeJeeves:
+		return "hooke"
+	default:
+		return fmt.Sprintf("method-%d", int(m))
+	}
+}
+
+// fallbackChain builds the degradation ladder for a run with
+// Options.Fallback: the selected method first, then the solver package's
+// default chain (SQP → interior point → Hooke-Jeeves) with the selected
+// method deduplicated, so every chain ends in the derivative-free stage.
+func (m Method) fallbackChain() []solver.NamedRunner {
+	chain := []solver.NamedRunner{{Name: m.chainName(), Run: m.run}}
+	for _, stage := range solver.DefaultFallbackChain() {
+		if stage.Name == m.chainName() {
+			continue
+		}
+		chain = append(chain, stage)
+	}
+	return chain
+}
+
 // System couples a thermal model with the optimization machinery. The
 // embedded evaluation cache makes the objective and constraint share one
 // thermal solve per operating point; it is safe for concurrent use:

@@ -16,6 +16,7 @@ import (
 
 	"oftec/internal/core"
 	"oftec/internal/parallel"
+	"oftec/internal/solver"
 	"oftec/internal/thermal"
 	"oftec/internal/units"
 	"oftec/internal/workload"
@@ -85,6 +86,15 @@ func Surface(setup Setup, benchName string, nOmega, nI int) ([]SurfacePoint, err
 	return SurfaceWorkers(setup, benchName, nOmega, nI, 0)
 }
 
+// SurfaceContext is SurfaceWorkers under a caller-supplied context: when
+// ctx is cancelled (deadline, signal) the sweep stops issuing rows and
+// returns ctx's error. Rows already completed are discarded — a partial
+// surface has holes in deterministic row-major order, so callers that
+// want partial data should shrink the grid instead.
+func SurfaceContext(ctx context.Context, setup Setup, benchName string, nOmega, nI, workers int) ([]SurfacePoint, error) {
+	return surface(ctx, setup, benchName, nOmega, nI, workers)
+}
+
 // SurfaceWorkers is Surface with an explicit fan-out width: zero sizes
 // the pool to GOMAXPROCS, one forces the serial reference path. The unit
 // of parallelism is one ω-row: within a row the converged field at each
@@ -93,6 +103,10 @@ func Surface(setup Setup, benchName string, nOmega, nI int) ([]SurfacePoint, err
 // every point's inputs are fixed by its own row alone and results are
 // identical for any worker count.
 func SurfaceWorkers(setup Setup, benchName string, nOmega, nI, workers int) ([]SurfacePoint, error) {
+	return surface(context.Background(), setup, benchName, nOmega, nI, workers)
+}
+
+func surface(ctx context.Context, setup Setup, benchName string, nOmega, nI, workers int) ([]SurfacePoint, error) {
 	if nOmega < 2 || nI < 2 {
 		return nil, fmt.Errorf("experiments: surface grid %d×%d must be at least 2×2", nOmega, nI)
 	}
@@ -102,7 +116,7 @@ func SurfaceWorkers(setup Setup, benchName string, nOmega, nI, workers int) ([]S
 	}
 	cfg := setup.Config
 	out := make([]SurfacePoint, nOmega*nI)
-	err = parallel.ForEach(context.Background(), nOmega, workers, func(i int) error {
+	err = parallel.ForEach(ctx, nOmega, workers, func(i int) error {
 		omega := cfg.Fan.OmegaMax * float64(i) / float64(nOmega-1)
 		var warm []float64
 		for j := 0; j < nI; j++ {
@@ -300,6 +314,11 @@ type SolverRow struct {
 	// FuncEvals totals objective/constraint evaluations across both
 	// optimization phases.
 	FuncEvals int
+	// Converged and Stopped report the Optimization 1 solve's verdict
+	// (see solver.Report); a method can land on a feasible point without
+	// a convergence claim, which the paper's table would otherwise hide.
+	Converged bool
+	Stopped   solver.StopReason
 }
 
 // SolverComparison runs Algorithm 1 on one benchmark with each NLP method
@@ -327,6 +346,8 @@ func SolverComparison(s Setup, benchName string) ([]SolverRow, error) {
 			PowerW:    out.CoolingPower(),
 			Runtime:   out.Runtime,
 			FuncEvals: out.Opt1Report.FuncEvals + out.Opt2Report.FuncEvals,
+			Converged: out.Opt1Report.Converged,
+			Stopped:   out.Opt1Report.Stopped,
 		})
 	}
 	return rows, nil

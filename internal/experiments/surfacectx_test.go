@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestSurfaceContextCancelled: a cancelled context aborts the sweep with
+// the context's error instead of returning a surface with holes.
+func TestSurfaceContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pts, err := SurfaceContext(ctx, FastSetup(), "Basicmath", 9, 5, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if pts != nil {
+		t.Errorf("cancelled sweep returned %d points, want none", len(pts))
+	}
+}
+
+// TestSurfaceContextMatchesSurface: with a live context the two entry
+// points are the same computation.
+func TestSurfaceContextMatchesSurface(t *testing.T) {
+	setup := FastSetup()
+	plain, err := Surface(setup, "Basicmath", 9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := SurfaceContext(context.Background(), setup, "Basicmath", 9, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, withCtx) {
+		t.Error("SurfaceContext diverged from Surface on the same grid")
+	}
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxLeakAnalyzer flags iterative functions that accept a cancellable
+// options struct but never consult it.
+//
+// The solver package's contract is that every iterative method honors
+// Options.Ctx at iteration boundaries, returning its best-so-far report
+// when the context fires. A new solver (or driver) that takes the same
+// Options and loops without ever consulting the context silently breaks
+// that contract — the compiler cannot tell, because the field is simply
+// unused. The analyzer reports any package-level function that (a) has a
+// parameter whose struct type carries a field `Ctx context.Context`,
+// (b) contains a for or range loop, and (c) neither reads `.Ctx`, nor
+// calls a cancellation helper (a method whose name is "ctx" or mentions
+// "cancel"), nor hands the options value wholesale to another function
+// (delegation, e.g. MultiStart passing its Options to each launch).
+var CtxLeakAnalyzer = &Analyzer{
+	Name: "ctxleak",
+	Doc:  "flags loop-bearing functions that take a Ctx-carrying options struct but never consult it",
+	Run:  runCtxLeak,
+}
+
+func runCtxLeak(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			params := ctxParams(pass, fd)
+			if len(params) == 0 || !hasLoop(fd.Body) {
+				continue
+			}
+			for _, param := range params {
+				if !consultsCtx(pass, fd.Body, param) {
+					pass.Reportf(fd.Pos(), "%s loops but never consults %s.Ctx (check cancellation at iteration boundaries or delegate the options)",
+						fd.Name.Name, param.Name())
+				}
+			}
+		}
+	}
+}
+
+// ctxParams returns the function's parameters whose (possibly pointer)
+// struct type has a field Ctx of type context.Context.
+func ctxParams(pass *Pass, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Pkg.Info.Defs[name]
+			if obj != nil && hasCtxField(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// hasCtxField reports whether t (after unwrapping pointers) is a struct
+// with a field named Ctx of type context.Context.
+func hasCtxField(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "Ctx" {
+			continue
+		}
+		if named, ok := f.Type().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasLoop reports whether the body contains any for or range statement.
+func hasLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// consultsCtx reports whether the body reads param.Ctx, calls a
+// cancellation helper on param, or uses param bare (delegating the whole
+// options value to code that can consult it).
+func consultsCtx(pass *Pass, body *ast.BlockStmt, param types.Object) bool {
+	consulted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if consulted {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == param {
+				name := sel.Sel.Name
+				if name == "Ctx" || strings.EqualFold(name, "ctx") ||
+					strings.Contains(strings.ToLower(name), "cancel") {
+					consulted = true
+				}
+				// A field/method access other than the above is not a
+				// consultation; skip the base ident so it does not count
+				// as a bare (delegating) use below.
+				return false
+			}
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == param {
+			// Bare use: the options value escapes wholesale (call
+			// argument, assignment copy) — the callee can consult it.
+			consulted = true
+			return false
+		}
+		return true
+	})
+	return consulted
+}

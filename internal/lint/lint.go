@@ -212,6 +212,7 @@ func All() []*Analyzer {
 		MutexCopyAnalyzer,
 		UnitSuffixAnalyzer,
 		NonFiniteAnalyzer,
+		CtxLeakAnalyzer,
 	}
 }
 

@@ -26,6 +26,7 @@ var fixtureCases = []struct {
 	// is loaded as if it were internal/solver.
 	{"nonfinite", "oftec/internal/solver", []string{"nonfinite"}},
 	{"ignore", "fixture/ignore", []string{"floatcmp", "errdrop"}},
+	{"ctxleak", "fixture/ctxleak", []string{"ctxleak"}},
 }
 
 // runFixture loads a fixture package and returns its diagnostics rendered
@@ -117,8 +118,8 @@ func TestAllHaveDocs(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 5 {
-		t.Errorf("expected the 5 analyzers of the suite, got %d", len(seen))
+	if len(seen) != 6 {
+		t.Errorf("expected the 6 analyzers of the suite, got %d", len(seen))
 	}
 }
 

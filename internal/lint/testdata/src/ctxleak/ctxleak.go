@@ -1,0 +1,77 @@
+// Package ctxleak is a fixture: positive and negative cases for the
+// ctxleak analyzer.
+package ctxleak
+
+import "context"
+
+// Options mimics the solver package's options struct: a Ctx field plus
+// ordinary tuning knobs.
+type Options struct {
+	Ctx     context.Context
+	MaxIter int
+}
+
+func (o Options) cancelled() bool { return o.Ctx != nil && o.Ctx.Err() != nil }
+
+// Plain has no Ctx field; loops over it are fine.
+type Plain struct{ MaxIter int }
+
+func badRange(xs []float64, opts Options) float64 { // want: loop ignores opts.Ctx
+	s := 0.0
+	for _, x := range xs {
+		s += x * float64(opts.MaxIter)
+	}
+	return s
+}
+
+func badFor(opts Options) int { // want: loop ignores opts.Ctx
+	n := 0
+	for i := 0; i < opts.MaxIter; i++ {
+		n++
+	}
+	return n
+}
+
+func goodMethod(opts Options) int { // consults via the cancelled helper
+	n := 0
+	for i := 0; i < opts.MaxIter; i++ {
+		if opts.cancelled() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func goodField(opts Options) int { // consults the field directly
+	n := 0
+	for i := 0; i < opts.MaxIter; i++ {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func goodDelegate(xs []float64, opts Options) float64 { // hands opts on wholesale
+	var s float64
+	for _, x := range xs {
+		s += helper(x, opts)
+	}
+	return s
+}
+
+func helper(x float64, opts Options) float64 { // no loop: exempt
+	return x * float64(opts.MaxIter)
+}
+
+func goodNoLoop(opts Options) int { return opts.MaxIter }
+
+func goodPlain(o Plain) int { // no Ctx field to ignore
+	n := 0
+	for i := 0; i < o.MaxIter; i++ {
+		n++
+	}
+	return n
+}

@@ -79,6 +79,10 @@ func NelderMead(p *Problem, x0 []float64, opts Options) (Report, error) {
 	report := Report{}
 	maxIter := opts.maxIter() * 4
 	for iter := 1; iter <= maxIter; iter++ {
+		if opts.cancelled() {
+			report.Stopped = StopCancelled
+			break
+		}
 		order()
 		report.Iterations = iter
 		best, worst := simplex[0], simplex[n]
@@ -87,6 +91,7 @@ func NelderMead(p *Problem, x0 []float64, opts Options) (Report, error) {
 
 		if opts.StopWhen != nil && opts.StopWhen(best.x, best.f) {
 			report.EarlyStopped = true
+			report.Stopped = StopEarlyStopped
 			break
 		}
 		// Convergence: simplex has collapsed.
@@ -94,8 +99,14 @@ func NelderMead(p *Problem, x0 []float64, opts Options) (Report, error) {
 		for i := 0; i < n; i++ {
 			size = math.Max(size, math.Abs(worst.x[i]-best.x[i])/(p.Upper[i]-p.Lower[i]+1e-30))
 		}
+		opts.trace(TraceRecord{
+			Method: "neldermead", Iter: iter,
+			X: append([]float64(nil), best.x...), F: best.f,
+			MaxViolation: math.NaN(), StepNorm: size, Alpha: math.NaN(),
+		})
 		if size < opts.tol() && math.Abs(worst.f-best.f) < opts.tol()*(1+math.Abs(best.f)) {
 			report.Converged = true
+			report.Stopped = StopConverged
 			break
 		}
 
@@ -126,6 +137,9 @@ func NelderMead(p *Problem, x0 []float64, opts Options) (Report, error) {
 				}
 			}
 		}
+	}
+	if report.Stopped == StopUnset {
+		report.Stopped = StopMaxIter
 	}
 	order()
 	report.X = simplex[0].x
@@ -185,6 +199,7 @@ func GridSearch(p *Problem, pts int, tol float64) (Report, error) {
 		}
 	}
 	best.Converged = true
+	best.Stopped = StopConverged
 	best.Iterations = 1
 	best.FuncEvals = evals
 	return best, nil

@@ -76,11 +76,15 @@ func HookeJeeves(p *Problem, x0 []float64, opts Options) (Report, error) {
 	tol := opts.tol()
 	maxIter := opts.maxIter() * 4
 	for iter := 1; iter <= maxIter; iter++ {
+		if opts.cancelled() {
+			report.Stopped = StopCancelled
+			break
+		}
 		report.Iterations = iter
 		trial, ftrial := explore(base, fbase)
 		if ftrial < fbase {
 			// Pattern move: extrapolate along the improvement direction.
-			for {
+			for !opts.cancelled() {
 				pattern := make([]float64, n)
 				for i := range pattern {
 					pattern[i] = trial[i] + (trial[i] - base[i])
@@ -103,15 +107,29 @@ func HookeJeeves(p *Problem, x0 []float64, opts Options) (Report, error) {
 			}
 			if maxStep < tol {
 				report.Converged = true
+				report.Stopped = StopConverged
 				break
 			}
 		}
 		report.X = base
 		report.F = fbase
+		var meshInf float64
+		for i := range step {
+			meshInf = math.Max(meshInf, step[i]/(p.Upper[i]-p.Lower[i]+1e-30))
+		}
+		opts.trace(TraceRecord{
+			Method: "hooke", Iter: iter,
+			X: append([]float64(nil), base...), F: fbase,
+			MaxViolation: math.NaN(), StepNorm: meshInf, Alpha: math.NaN(),
+		})
 		if opts.StopWhen != nil && opts.StopWhen(base, fbase) {
 			report.EarlyStopped = true
+			report.Stopped = StopEarlyStopped
 			break
 		}
+	}
+	if report.Stopped == StopUnset {
+		report.Stopped = StopMaxIter
 	}
 
 	report.X = base

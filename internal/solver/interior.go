@@ -103,12 +103,25 @@ func InteriorPoint(p *Problem, x0 []float64, opts Options) (Report, error) {
 	tol := opts.tol()
 	totalIter := 0
 
+	// stationary records whether the most recent barrier subproblem ended
+	// at (approximate) stationarity — line search exhausted at the current
+	// iterate, or a sub-tolerance step — rather than by running out of its
+	// inner budget. Convergence of the whole method is the stationarity of
+	// the final subproblem; it is NOT claimed unconditionally.
+	stationary := false
+
 	mu := 1.0
-	for outer := 0; outer < 12 && mu > 1e-8; outer++ {
+outer:
+	for outerIt := 0; outerIt < 12 && mu > 1e-8; outerIt++ {
 		bmat := identity(n)
 		f := barrier(z, mu)
 		g := grad(z, mu, f)
+		stationary = false
 		for inner := 0; inner < opts.maxIter()/4+10; inner++ {
+			if opts.cancelled() {
+				report.Stopped = StopCancelled
+				break outer
+			}
 			totalIter++
 			// Newton-like direction from the BFGS model.
 			lu, err := sparse.NewLU(bmat)
@@ -126,7 +139,12 @@ func InteriorPoint(p *Problem, x0 []float64, opts Options) (Report, error) {
 					d[i] = -g[i]
 				}
 			}
-			// Backtracking.
+			// Backtracking with an Armijo sufficient-decrease test. A bare
+			// simple-decrease escape (`|| fNew < f`) would accept the very
+			// first trial whenever it improves at all, making the test
+			// vacuous; simple decrease is tolerated only as a last resort
+			// once α has bottomed out, so ill-scaled barrier valleys can
+			// still be crept along.
 			alpha := 1.0
 			var zNew []float64
 			var fNew float64
@@ -136,13 +154,16 @@ func InteriorPoint(p *Problem, x0 []float64, opts Options) (Report, error) {
 					cand[i] = math.Min(1, math.Max(0, z[i]+alpha*d[i]))
 				}
 				fNew = barrier(cand, mu)
-				if fNew < f-1e-6*alpha*math.Abs(dot(g, d)) || fNew < f {
+				armijo := fNew < f-1e-6*alpha*math.Abs(dot(g, d))
+				lastResort := alpha < 1e-8 && fNew < f
+				if armijo || lastResort {
 					zNew = cand
 					break
 				}
 				alpha /= 2
 			}
 			if zNew == nil {
+				stationary = true
 				break // stationary for this barrier parameter
 			}
 			gNew := grad(zNew, mu, fNew)
@@ -157,6 +178,12 @@ func InteriorPoint(p *Problem, x0 []float64, opts Options) (Report, error) {
 			bfgsUpdate(bmat, s, y)
 			z, f, g = zNew, fNew, gNew
 
+			opts.trace(TraceRecord{
+				Method: "interior", Iter: totalIter,
+				X: toX(z), F: f,
+				MaxViolation: math.NaN(), StepNorm: stepInf, Alpha: alpha,
+			})
+
 			if opts.StopWhen != nil {
 				x := toX(z)
 				fv := p.eval(x, &evals)
@@ -164,6 +191,7 @@ func InteriorPoint(p *Problem, x0 []float64, opts Options) (Report, error) {
 					report.X = x
 					report.F = fv
 					report.EarlyStopped = true
+					report.Stopped = StopEarlyStopped
 					report.Iterations = totalIter
 					report.MaxViolation = p.maxViolation(x, &evals)
 					report.FuncEvals = evals
@@ -171,6 +199,7 @@ func InteriorPoint(p *Problem, x0 []float64, opts Options) (Report, error) {
 				}
 			}
 			if stepInf < tol {
+				stationary = true
 				break
 			}
 		}
@@ -181,7 +210,16 @@ func InteriorPoint(p *Problem, x0 []float64, opts Options) (Report, error) {
 	report.X = toX(z)
 	report.F = p.eval(report.X, &evals)
 	report.MaxViolation = p.maxViolation(report.X, &evals)
-	report.Converged = true
+	if report.Stopped != StopCancelled {
+		// Converged only when the final barrier subproblem actually
+		// reached stationarity, not unconditionally.
+		report.Converged = stationary
+		if stationary {
+			report.Stopped = StopConverged
+		} else {
+			report.Stopped = StopMaxIter
+		}
+	}
 	report.FuncEvals = evals
 	return report, nil
 }

@@ -8,6 +8,27 @@ import (
 	"oftec/internal/parallel"
 )
 
+// Runner is the common signature of the iterative solvers in this
+// package (ActiveSetSQP, InteriorPoint, TrustRegion, NelderMead,
+// HookeJeeves) and of the drivers composed from them.
+type Runner func(p *Problem, x0 []float64, opts Options) (Report, error)
+
+// betterReport reports whether rep beats best under the feasibility-first
+// ordering shared by MultiStart, Fallback, and GridSearch: a feasible
+// report beats any infeasible one, feasible reports compare on the
+// objective, and infeasible ones on their violation.
+func betterReport(rep, best Report, feasTol float64) bool {
+	switch {
+	case rep.Feasible(feasTol) && !best.Feasible(feasTol):
+		return true
+	case rep.Feasible(feasTol) == best.Feasible(feasTol) && rep.Feasible(feasTol):
+		return rep.F < best.F
+	case !best.Feasible(feasTol):
+		return rep.MaxViolation < best.MaxViolation
+	}
+	return false
+}
+
 // MultiStart runs a solver from several starting points and returns the
 // best feasible result (or the least-infeasible one when nothing is
 // feasible). The paper notes its objectives have "minor non-convexities";
@@ -21,8 +42,15 @@ import (
 // in start order, so the returned Report is identical to the serial
 // launch — including the early-stop short circuit, whose skipped starts
 // are solved but then ignored.
-func MultiStart(run func(p *Problem, x0 []float64, opts Options) (Report, error),
-	p *Problem, starts [][]float64, opts Options) (Report, error) {
+//
+// Cancellation (Options.Ctx) is honored by every underlying solve; the
+// aggregate then reports the launch as a whole: best-so-far X/F, summed
+// counters over whatever ran, Converged=false, Stopped=StopCancelled.
+// Under cancellation the serial launch stops issuing solves while the
+// parallel one lets the remaining starts return their (cheap) cancelled
+// stubs, so the two paths may differ in the aggregate counters — never
+// in the incumbent's provenance guarantees.
+func MultiStart(run Runner, p *Problem, starts [][]float64, opts Options) (Report, error) {
 	if err := p.Validate(); err != nil {
 		return Report{}, err
 	}
@@ -42,18 +70,25 @@ func MultiStart(run func(p *Problem, x0 []float64, opts Options) (Report, error)
 	}
 	reps := make([]Report, len(starts))
 	if workers == 1 {
-		// Serial launch: stop issuing solves at the first early stop (the
-		// zero Reports past it are never read by the reduction below).
+		// Serial launch: stop issuing solves at the first early stop or on
+		// cancellation. reps is truncated so unstarted zero Reports (which
+		// would look "feasible at F=0") never reach the reduction below.
+		launched := 0
 		for i, x0 := range starts {
+			if i > 0 && opts.cancelled() {
+				break
+			}
 			rep, err := run(p, x0, opts)
 			if err != nil {
 				return Report{}, fmt.Errorf("solver: start %d: %w", i, err)
 			}
 			reps[i] = rep
+			launched = i + 1
 			if rep.EarlyStopped {
 				break
 			}
 		}
+		reps = reps[:launched]
 	} else {
 		err := parallel.ForEach(context.Background(), len(starts), workers, func(i int) error {
 			rep, err := run(p, starts[i], opts)
@@ -77,25 +112,27 @@ func MultiStart(run func(p *Problem, x0 []float64, opts Options) (Report, error)
 		totalEvals += rep.FuncEvals
 		totalIters += rep.Iterations
 
-		better := false
-		switch {
-		case rep.Feasible(feasTol) && !best.Feasible(feasTol):
-			better = true
-		case rep.Feasible(feasTol) == best.Feasible(feasTol) && rep.Feasible(feasTol):
-			better = rep.F < best.F
-		case !best.Feasible(feasTol):
-			better = rep.MaxViolation < best.MaxViolation
-		}
-		if better {
+		if betterReport(rep, best, feasTol) {
 			best = rep
 		}
 		if rep.EarlyStopped {
+			// Launch-wide verdict: the launch ended on the early-stop
+			// predicate, whatever the incumbent's own reason was.
 			best.EarlyStopped = true
+			best.Converged = false
+			best.Stopped = StopEarlyStopped
 			break
 		}
 	}
 	best.FuncEvals = totalEvals
 	best.Iterations = totalIters
+	if opts.cancelled() {
+		// Launch-wide verdict: even if the incumbent start converged before
+		// the context fired, the launch as a whole was cut short.
+		best.Converged = false
+		best.EarlyStopped = false
+		best.Stopped = StopCancelled
+	}
 	return best, nil
 }
 

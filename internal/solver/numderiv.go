@@ -2,10 +2,28 @@ package solver
 
 import "math"
 
+// sliverSlope is the synthetic gradient magnitude used when finite
+// differencing is impossible because the current point or both probes sit
+// in the Infeasible region. It must be large enough to dominate genuine
+// objective slopes (the scaled problems have O(1) spans) yet small enough
+// that the BFGS curvature pairs built from it stay numerically sane —
+// (Infeasible − fx)/h would be ~1e17 and wrecks the Hessian model.
+const sliverSlope = 1e6
+
 // gradient approximates ∇f at x with central differences, falling back to
 // one-sided differences at box edges or when a probe point evaluates to the
 // Infeasible sentinel (e.g. probing into a thermal-runaway region). The
 // step for variable i is h_i = fdStep·(Upper_i − Lower_i), floored at 1e-10.
+//
+// When finite differencing degenerates, a synthetic slope of magnitude
+// sliverSlope stands in for the unknown derivative:
+//
+//   - both probes infeasible (the iterate sits in a sliver of
+//     feasibility): the slope points so that the descent direction −g
+//     moves away from the nearer box bound, toward the interior;
+//   - fx itself Infeasible with one usable probe: the slope points so
+//     that −g moves toward the feasible probe (the raw one-sided quotient
+//     would be ±(fProbe − 1e12)/h garbage).
 func (p *Problem) gradient(f Func, x []float64, fx float64, fdStep float64, evals *int) []float64 {
 	n := p.Dim()
 	g := make([]float64, n)
@@ -37,13 +55,27 @@ func (p *Problem) gradient(f Func, x []float64, fx float64, fdStep float64, eval
 		case usableHi && usableLo:
 			g[i] = (fHi - fLo) / (2 * h)
 		case usableHi:
-			g[i] = (fHi - fx) / h
+			if fx >= Infeasible {
+				g[i] = -sliverSlope // descend toward the feasible upper probe
+			} else {
+				g[i] = (fHi - fx) / h
+			}
 		case usableLo:
-			g[i] = (fx - fLo) / h
+			if fx >= Infeasible {
+				g[i] = sliverSlope // descend toward the feasible lower probe
+			} else {
+				g[i] = (fx - fLo) / h
+			}
 		default:
 			// Both probes infeasible: the point sits in a sliver of
-			// feasibility. Signal steep ascent away from the nearer bound.
-			g[i] = 0
+			// feasibility. Signal steep ascent toward the nearer bound so
+			// the descent direction −g pushes the iterate toward the
+			// interior instead of stranding it (g = 0 froze this axis).
+			if x[i]-p.Lower[i] <= p.Upper[i]-x[i] {
+				g[i] = -sliverSlope
+			} else {
+				g[i] = sliverSlope
+			}
 		}
 	}
 	return g

@@ -13,6 +13,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -140,6 +141,29 @@ type Options struct {
 	// negative selects GOMAXPROCS. The iterative solvers themselves
 	// ignore this field.
 	Workers int
+	// Ctx, when non-nil, is checked at every iteration boundary: once it
+	// is cancelled or past its deadline, the solver stops within one
+	// iteration and returns its best-so-far Report with Stopped =
+	// StopCancelled and no error. A nil Ctx never cancels. Cancellation
+	// cannot interrupt an evaluation already in flight — F and Cons are
+	// black boxes — only the boundary between iterations.
+	Ctx context.Context
+	// Trace, when non-nil, receives one TraceRecord per accepted iterate
+	// from every iterative solver (and from each start of a MultiStart
+	// launch). With Workers > 1 it must be safe for concurrent use.
+	Trace TraceFunc
+}
+
+// cancelled reports whether Ctx demands an early exit.
+func (o Options) cancelled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
+}
+
+// trace emits a record when a Trace hook is installed.
+func (o Options) trace(rec TraceRecord) {
+	if o.Trace != nil {
+		o.Trace(rec)
+	}
 }
 
 func (o Options) maxIter() int {
@@ -163,6 +187,49 @@ func (o Options) fdStep() float64 {
 	return o.FDStep
 }
 
+// StopReason says why a solver handed back its Report. Every solver in
+// this package sets it on every exit path; StopUnset in a returned Report
+// is a bug (the conformance suite enforces this).
+type StopReason int
+
+const (
+	// StopUnset is the zero value: no reason was recorded.
+	StopUnset StopReason = iota
+	// StopConverged: the method met its convergence test.
+	StopConverged
+	// StopEarlyStopped: Options.StopWhen fired.
+	StopEarlyStopped
+	// StopMaxIter: the iteration budget ran out before convergence.
+	StopMaxIter
+	// StopCancelled: Options.Ctx was cancelled or timed out; the Report
+	// carries the best-so-far iterate.
+	StopCancelled
+	// StopRestored: the method dead-ended in feasibility restoration (it
+	// could not even reduce the constraint violation) and stopped without
+	// a stationarity claim.
+	StopRestored
+)
+
+// String names the reason for reports and traces.
+func (s StopReason) String() string {
+	switch s {
+	case StopUnset:
+		return "unset"
+	case StopConverged:
+		return "converged"
+	case StopEarlyStopped:
+		return "early-stopped"
+	case StopMaxIter:
+		return "max-iter"
+	case StopCancelled:
+		return "cancelled"
+	case StopRestored:
+		return "restored"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(s))
+	}
+}
+
 // Report describes the outcome of a solve.
 type Report struct {
 	// X is the best point found.
@@ -175,10 +242,17 @@ type Report struct {
 	Iterations int
 	// FuncEvals counts objective and constraint evaluations.
 	FuncEvals int
-	// Converged reports whether the method met its convergence test.
+	// Converged reports whether the method met its convergence test. It
+	// is true exactly when Stopped == StopConverged.
 	Converged bool
-	// EarlyStopped reports that Options.StopWhen fired.
+	// EarlyStopped reports that Options.StopWhen fired. It is true
+	// exactly when Stopped == StopEarlyStopped.
 	EarlyStopped bool
+	// Stopped records why the solve ended. Aggregating drivers
+	// (MultiStart, Fallback) report the reason of the whole launch: a
+	// cancelled launch reports StopCancelled even when some start
+	// converged before the cancellation.
+	Stopped StopReason
 }
 
 // Feasible reports whether the final point satisfies all constraints to

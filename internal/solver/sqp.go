@@ -58,6 +58,17 @@ func ActiveSetSQP(p *Problem, x0 []float64, opts Options) (Report, error) {
 	}
 
 	fz := scaled.eval(z, &evals)
+	report := Report{X: toX(z), F: fz, Iterations: 0}
+	finish := func() (Report, error) {
+		report.MaxViolation = p.maxViolation(report.X, &evals)
+		report.FuncEvals = evals
+		return report, nil
+	}
+	if opts.cancelled() {
+		report.Stopped = StopCancelled
+		return finish()
+	}
+
 	g := scaled.gradient(scaled.F, z, fz, opts.fdStep(), &evals)
 	m := len(scaled.Cons)
 	cv := make([]float64, m)
@@ -70,20 +81,31 @@ func ActiveSetSQP(p *Problem, x0 []float64, opts Options) (Report, error) {
 	bmat := identity(n)
 	mu := 10.0
 	tol := opts.tol()
-	report := Report{X: toX(z), F: fz, Iterations: 0}
 
-	merit := func(zz []float64) (float64, float64) {
+	// merit evaluates the objective and each constraint at zz exactly
+	// once, storing the raw constraint values into cons (len m) and
+	// returning the objective and the ℓ1 violation sum. One trial step
+	// therefore costs 1+m evaluations — the line search below must not
+	// re-evaluate constraints it already has.
+	merit := func(zz, cons []float64) (float64, float64) {
 		f := scaled.eval(zz, &evals)
-		var viol float64
+		var violSum float64
 		for i := 0; i < m; i++ {
-			if v := scaled.evalCons(i, zz, &evals); v > viol {
-				viol = v
+			v := scaled.evalCons(i, zz, &evals)
+			cons[i] = v
+			if v > 0 {
+				violSum += v
 			}
 		}
-		return f, viol
+		return f, violSum
 	}
+	consTrial := make([]float64, m)
 
 	for iter := 1; iter <= opts.maxIter(); iter++ {
+		if opts.cancelled() {
+			report.Stopped = StopCancelled
+			break
+		}
 		report.Iterations = iter
 
 		// Assemble the QP: rows for linearized constraints and box bounds.
@@ -131,7 +153,10 @@ func ActiveSetSQP(p *Problem, x0 []float64, opts Options) (Report, error) {
 				}
 			}
 			if norm2(d) == 0 {
-				break // nothing to do
+				// Restoration has no direction to offer: stop without a
+				// stationarity claim.
+				report.Stopped = StopRestored
+				break
 			}
 			lam = make([]float64, len(rows))
 		}
@@ -164,6 +189,7 @@ func ActiveSetSQP(p *Problem, x0 []float64, opts Options) (Report, error) {
 
 		alpha := 1.0
 		var zNew []float64
+		var cvNew []float64
 		accepted := false
 		for alpha >= 1e-9 {
 			cand := make([]float64, n)
@@ -171,17 +197,14 @@ func ActiveSetSQP(p *Problem, x0 []float64, opts Options) (Report, error) {
 				cand[i] = z[i] + alpha*d[i]
 			}
 			scaled.clampBox(cand)
-			f, _ := merit(cand)
-			var violSum float64
-			for i := 0; i < m; i++ {
-				if v := scaled.evalCons(i, cand, &evals); v > 0 {
-					violSum += v
-				}
-			}
+			f, violSum := merit(cand, consTrial)
 			phi := f + mu*violSum
 			if phi <= phi0+1e-4*alpha*descent && phi < Infeasible {
 				zNew = cand
 				fz = f
+				// The accepted trial's constraint values become the next
+				// iterate's cv — re-evaluating them would double-count.
+				cvNew = append([]float64(nil), consTrial...)
 				accepted = true
 				break
 			}
@@ -191,6 +214,7 @@ func ActiveSetSQP(p *Problem, x0 []float64, opts Options) (Report, error) {
 			// The merit function cannot be decreased along d: declare
 			// convergence at the current iterate.
 			report.Converged = true
+			report.Stopped = StopConverged
 			break
 		}
 
@@ -199,12 +223,11 @@ func ActiveSetSQP(p *Problem, x0 []float64, opts Options) (Report, error) {
 			step = math.Max(step, math.Abs(alpha*d[i]))
 		}
 
-		// New derivatives.
+		// New derivatives (constraint values carried over from the line
+		// search above).
 		gNew := scaled.gradient(scaled.F, zNew, fz, opts.fdStep(), &evals)
-		cvNew := make([]float64, m)
 		caNew := make([][]float64, m)
 		for i := 0; i < m; i++ {
-			cvNew[i] = scaled.evalCons(i, zNew, &evals)
 			caNew[i] = scaled.gradient(scaled.Cons[i], zNew, cvNew[i], opts.fdStep(), &evals)
 		}
 
@@ -224,17 +247,32 @@ func ActiveSetSQP(p *Problem, x0 []float64, opts Options) (Report, error) {
 		report.X = toX(z)
 		report.F = fz
 
+		var worstViol float64
+		for i := 0; i < m; i++ {
+			if cv[i] > worstViol {
+				worstViol = cv[i]
+			}
+		}
+		opts.trace(TraceRecord{
+			Method: "sqp", Iter: iter,
+			X: append([]float64(nil), report.X...), F: fz,
+			MaxViolation: worstViol, StepNorm: step, Alpha: alpha,
+		})
+
 		if opts.StopWhen != nil && opts.StopWhen(report.X, fz) {
 			report.EarlyStopped = true
+			report.Stopped = StopEarlyStopped
 			break
 		}
 		if step < tol {
 			report.Converged = true
+			report.Stopped = StopConverged
 			break
 		}
 	}
+	if report.Stopped == StopUnset {
+		report.Stopped = StopMaxIter
+	}
 
-	report.MaxViolation = p.maxViolation(report.X, &evals)
-	report.FuncEvals = evals
-	return report, nil
+	return finish()
 }

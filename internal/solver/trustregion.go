@@ -69,6 +69,10 @@ func TrustRegion(p *Problem, x0 []float64, opts Options) (Report, error) {
 
 	report := Report{X: toX(z), F: f}
 	for iter := 1; iter <= opts.maxIter(); iter++ {
+		if opts.cancelled() {
+			report.Stopped = StopCancelled
+			break
+		}
 		report.Iterations = iter
 
 		// QP: min ½dᵀBd + gᵀd s.t. |d_i| ≤ Δ and box.
@@ -87,10 +91,14 @@ func TrustRegion(p *Problem, x0 []float64, opts Options) (Report, error) {
 		q := &qpProblem{b: bmat, g: g, a: rows, c: rhs}
 		d, _, err := q.solve()
 		if err != nil {
+			// The trust-region subproblem itself failed; stop without a
+			// stationarity claim.
+			report.Stopped = StopRestored
 			break
 		}
 		if norm2(d) < tol {
 			report.Converged = true
+			report.Stopped = StopConverged
 			break
 		}
 		predicted := -(q.objective(d)) // model reduction
@@ -115,16 +123,24 @@ func TrustRegion(p *Problem, x0 []float64, opts Options) (Report, error) {
 			gNew := scaledPen.gradient(penalized, zNew, fNew, opts.fdStep(), &evals)
 			s := make([]float64, n)
 			y := make([]float64, n)
+			var stepInf float64
 			for i := 0; i < n; i++ {
 				s[i] = zNew[i] - z[i]
 				y[i] = gNew[i] - g[i]
+				stepInf = math.Max(stepInf, math.Abs(s[i]))
 			}
 			bfgsUpdate(bmat, s, y)
 			z, f, g = zNew, fNew, gNew
 			report.X = toX(z)
 			report.F = p.eval(report.X, &evals)
+			opts.trace(TraceRecord{
+				Method: "trust", Iter: iter,
+				X: append([]float64(nil), report.X...), F: f,
+				MaxViolation: math.NaN(), StepNorm: stepInf, Alpha: math.NaN(),
+			})
 			if opts.StopWhen != nil && opts.StopWhen(report.X, report.F) {
 				report.EarlyStopped = true
+				report.Stopped = StopEarlyStopped
 				break
 			}
 			// Escalate the penalty while the iterate stays infeasible.
@@ -136,8 +152,12 @@ func TrustRegion(p *Problem, x0 []float64, opts Options) (Report, error) {
 		}
 		if delta < tol/10 {
 			report.Converged = true
+			report.Stopped = StopConverged
 			break
 		}
+	}
+	if report.Stopped == StopUnset {
+		report.Stopped = StopMaxIter
 	}
 
 	report.MaxViolation = p.maxViolation(report.X, &evals)

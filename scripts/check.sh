@@ -25,6 +25,14 @@ echo "== go test -race (evaluation-cache + fan-out concurrency)"
 go test -race -run 'Concurrent|Singleflight|Eviction|Stress|ParallelMatchesSerial|ForEach' \
 	./internal/core/... ./internal/experiments/... ./internal/solver/... ./internal/parallel/...
 
+# The solver robustness contract by name: Report conformance across all
+# methods, cancellation within one iteration, fault-injected fallback
+# degradation, and trace-hook safety — all under -race so the Workers>1
+# trace/cancel paths are exercised with the detector on.
+echo "== go test -race (solver conformance + fallback fault injection)"
+go test -race -run 'Conformance|Fallback|Cancel|Trace|Stop|FaultWrapper|EvalAccounting|Gradient' \
+	./internal/solver/... ./internal/core/...
+
 echo "== go test -race ./..."
 go test -race ./...
 
