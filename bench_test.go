@@ -11,10 +11,12 @@
 package oftec_bench
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"testing"
 
+	"oftec/internal/backend"
 	"oftec/internal/core"
 	"oftec/internal/dvfs"
 	"oftec/internal/experiments"
@@ -33,6 +35,18 @@ func benchSetup() experiments.Setup {
 }
 
 func fullSetup() experiments.Setup { return experiments.DefaultSetup() }
+
+// benchModel digs the underlying physics model out of a system's backend
+// for the benchmarks that exercise the model directly (transients, raw
+// evaluations) rather than through the decoupled evaluation layer.
+func benchModel(b *testing.B, sys *core.System) *thermal.Model {
+	b.Helper()
+	m, ok := backend.ModelOf(sys.Backend())
+	if !ok {
+		b.Fatalf("backend %q exposes no underlying model", sys.Backend().Name())
+	}
+	return m
+}
 
 // BenchmarkFig6aSurface regenerates the maximum-die-temperature surface
 // 𝒯(ω, I_TEC) of Figure 6(a) for Basicmath.
@@ -280,7 +294,7 @@ func BenchmarkTransientBoost(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m := sys.Model()
+	m := benchModel(b, sys)
 	omega := units.RPMToRadPerSec(2500)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -316,7 +330,7 @@ func BenchmarkEvaluate(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m := sys.Model()
+	m := benchModel(b, sys)
 	var iters int
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -344,7 +358,7 @@ func BenchmarkEvaluateExact(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m := sys.Model()
+	m := benchModel(b, sys)
 	var outer, iters int
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -376,7 +390,7 @@ func BenchmarkEvaluateCold(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m := sys.Model()
+	m := benchModel(b, sys)
 	var iters int
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -394,6 +408,35 @@ func BenchmarkEvaluateCold(b *testing.B) {
 	b.ReportMetric(float64(iters), "cg-iters")
 }
 
+// BenchmarkROMEvaluate measures the reduced-order fast path on the same
+// distinct-point pattern as BenchmarkEvaluateCold: every iteration is a
+// fresh in-hull operating point, so neither the model's result memo nor
+// the evaluation cache can answer, and the timing is the ROM's projected
+// dense solve plus its residual-based error estimate. scripts/bench.sh
+// records the ROM/cold-full ratio in BENCH_backend.json; the acceptance
+// bar is ≥ 10× over BenchmarkEvaluateCold.
+func BenchmarkROMEvaluate(b *testing.B) {
+	setup := fullSetup()
+	setup.Backend = "rom"
+	sys, err := setup.System("Basicmath")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := sys.Backend()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		omega := 220 + 1e-4*float64(i)
+		res, err := ev.Evaluate(context.Background(), backend.Scalar(omega, 1.2), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Runaway {
+			b.Fatal("unexpected runaway")
+		}
+	}
+}
+
 // BenchmarkEvaluateExactCold is the fresh-solve cost of the exact
 // fixed-point path: distinct operating points defeat the result memo, so
 // each iteration pays the full outer loop (with its one shared
@@ -404,7 +447,7 @@ func BenchmarkEvaluateExactCold(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m := sys.Model()
+	m := benchModel(b, sys)
 	var outer int
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -431,7 +474,7 @@ func BenchmarkSteadyStateSolve(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m := sys.Model()
+	m := benchModel(b, sys)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Vary the operating point so the system's cache never hits.
@@ -456,7 +499,7 @@ func BenchmarkAblationLeakageModel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m := sys.Model()
+	m := benchModel(b, sys)
 	b.Run("linearized", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := m.Evaluate(250+float64(i%13), 1); err != nil {
@@ -490,7 +533,7 @@ func BenchmarkAblationGridResolution(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			m := sys.Model()
+			m := benchModel(b, sys)
 			var tmax float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -610,7 +653,7 @@ func BenchmarkZonedControlAblation(b *testing.B) {
 				b.Fatal(err)
 			}
 			assign, n := core.ClusterZones()
-			z, err := sys.Model().NewZoning(assign, n)
+			z, err := benchModel(b, sys).NewZoning(assign, n)
 			if err != nil {
 				b.Fatal(err)
 			}

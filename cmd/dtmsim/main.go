@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"oftec/internal/backend"
 	"oftec/internal/controller"
 	"oftec/internal/core"
 	"oftec/internal/power"
@@ -35,13 +36,14 @@ func main() {
 	log.SetPrefix("dtmsim: ")
 
 	var (
-		bench      = flag.String("bench", "Quicksort", "benchmark workload")
-		ctrlName   = flag.String("ctrl", "lut", "policy: lut, threshold, hysteresis, pifan, static, oftec-static, oftec-online")
-		duration   = flag.Float64("duration", 2.0, "simulated seconds")
-		dt         = flag.Float64("dt", 0.01, "plant integration step (s)")
-		ctrlPeriod = flag.Float64("ctrlperiod", 0.05, "controller sampling period (s)")
-		res        = flag.Int("res", 12, "chip-layer grid resolution")
-		csvPath    = flag.String("csv", "", "write the detailed trace as CSV")
+		bench       = flag.String("bench", "Quicksort", "benchmark workload")
+		ctrlName    = flag.String("ctrl", "lut", "policy: lut, threshold, hysteresis, pifan, static, oftec-static, oftec-online")
+		duration    = flag.Float64("duration", 2.0, "simulated seconds")
+		dt          = flag.Float64("dt", 0.01, "plant integration step (s)")
+		ctrlPeriod  = flag.Float64("ctrlperiod", 0.05, "controller sampling period (s)")
+		res         = flag.Int("res", 12, "chip-layer grid resolution")
+		backendName = flag.String("backend", "", "evaluation backend: full (default) or rom")
+		csvPath     = flag.String("csv", "", "write the detailed trace as CSV")
 	)
 	flag.Parse()
 
@@ -55,7 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	model, err := thermal.NewModel(cfg, peak)
+	plant, err := backend.New(*backendName, cfg, peak)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,14 +66,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	ctrl, setupTime, err := buildController(*ctrlName, model, peak, cfg)
+	ctrl, setupTime, err := buildController(*ctrlName, plant, peak, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("policy %s on %s (%.1f W peak), %gs at dt=%gs (controller setup %v)\n",
 		ctrl.Name(), b.Name, peak.Total(), *duration, *dt, setupTime.Round(time.Millisecond))
 
-	detail, err := controller.TraceSimulate(model, ctrl, trace, *duration, *dt, *ctrlPeriod, false)
+	detail, err := controller.TraceSimulate(plant, ctrl, trace, *duration, *dt, *ctrlPeriod, false)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -102,7 +104,7 @@ func main() {
 
 // buildController constructs the requested policy; LUT and oftec-static
 // run OFTEC offline first, which is included in the reported setup time.
-func buildController(name string, model *thermal.Model, peak power.Map, cfg thermal.Config) (controller.Controller, time.Duration, error) {
+func buildController(name string, plant backend.Plant, peak power.Map, cfg thermal.Config) (controller.Controller, time.Duration, error) {
 	start := time.Now()
 	switch name {
 	case "static":
@@ -124,7 +126,7 @@ func buildController(name string, model *thermal.Model, peak power.Map, cfg ther
 			OmegaMin: 15, OmegaMax: cfg.Fan.OmegaMax,
 		}, 0, nil
 	case "oftec-static":
-		sys := core.NewSystem(model)
+		sys := core.NewSystem(plant)
 		out, err := sys.Run(core.Options{Mode: core.ModeHybrid})
 		if err != nil {
 			return nil, 0, err
@@ -134,13 +136,13 @@ func buildController(name string, model *thermal.Model, peak power.Map, cfg ther
 		}
 		return &controller.Static{Omega: out.Omega, ITEC: out.ITEC}, time.Since(start), nil
 	case "oftec-online":
-		c := &controller.OFTECOnline{Model: model, ReplanPeriod: 0.25}
+		c := &controller.OFTECOnline{Plant: plant, ReplanPeriod: 0.25}
 		if err := c.Validate(); err != nil {
 			return nil, 0, err
 		}
 		return c, 0, nil
 	case "lut":
-		sys := core.NewSystem(model)
+		sys := core.NewSystem(plant)
 		// Level ladder around the workload's peak power (Section 6.2's
 		// "classify the input dynamic power vector to categories").
 		total := peak.Total()
@@ -149,7 +151,7 @@ func buildController(name string, model *thermal.Model, peak power.Map, cfg ther
 		if err != nil {
 			return nil, 0, err
 		}
-		return &lutPolicy{lut: lut, model: model}, time.Since(start), nil
+		return &lutPolicy{lut: lut, plant: plant}, time.Since(start), nil
 	default:
 		return nil, 0, fmt.Errorf("unknown controller %q", name)
 	}
@@ -157,11 +159,11 @@ func buildController(name string, model *thermal.Model, peak power.Map, cfg ther
 
 // lutPolicy serves precomputed OFTEC solutions keyed by the chip's current
 // total dynamic power — a power-sensor-driven controller. TraceSimulate
-// updates the model's workload every step, so reading it back is the
+// updates the plant's workload every step, so reading it back is the
 // sensor.
 type lutPolicy struct {
 	lut   *controller.LUT
-	model *thermal.Model
+	plant backend.Plant
 }
 
 // Name implements controller.Controller.
@@ -169,5 +171,5 @@ func (c *lutPolicy) Name() string { return "oftec-lut" }
 
 // Act implements controller.Controller.
 func (c *lutPolicy) Act(t, maxChipTemp float64) (float64, float64) {
-	return c.lut.Lookup(c.model.DynamicPowerTotal())
+	return c.lut.Lookup(c.plant.DynamicPowerTotal())
 }

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"oftec/internal/backend"
 	"oftec/internal/core"
 	"oftec/internal/experiments"
 	"oftec/internal/profiling"
@@ -34,21 +35,22 @@ func main() {
 	log.SetPrefix("oftec: ")
 
 	var (
-		bench   = flag.String("bench", "Basicmath", "benchmark name (one of "+strings.Join(workload.Names, ", ")+")")
-		mode    = flag.String("mode", "oftec", "cooling mode: oftec, var, fixed, teconly")
-		method  = flag.String("method", "sqp", "NLP method: sqp, interior, trust, neldermead, hooke")
-		opt2    = flag.Bool("opt2", false, "solve Optimization 2 only (minimize the maximum temperature)")
-		exact   = flag.Bool("exact", false, "verify the result with the exact exponential leakage model")
+		bench       = flag.String("bench", "Basicmath", "benchmark name (one of "+strings.Join(workload.Names, ", ")+")")
+		mode        = flag.String("mode", "oftec", "cooling mode: oftec, var, fixed, teconly")
+		method      = flag.String("method", "sqp", "NLP method: sqp, interior, trust, neldermead, hooke")
+		backendName = flag.String("backend", "", "evaluation backend: "+strings.Join(backend.Names(), ", ")+" (default full)")
+		opt2        = flag.Bool("opt2", false, "solve Optimization 2 only (minimize the maximum temperature)")
+		exact       = flag.Bool("exact", false, "verify the result with the exact exponential leakage model")
 
 		fallback = flag.Bool("fallback", false, "on non-convergence, retry with the solver fallback chain (method, then sqp → interior → hooke)")
 		timeout  = flag.Duration("timeout", 0, "bound the whole solve; on expiry the best point found so far is reported (0 = none)")
 		trace    = flag.Bool("trace", false, "dump the last per-iteration solver trace records to stderr")
-		res     = flag.Int("res", 16, "chip-layer grid resolution (cells per edge)")
-		tmaxC   = flag.Float64("tmax", 90, "thermal threshold T_max in °C")
-		ambient = flag.Float64("ambient", 45, "ambient temperature in °C")
-		cfgPath = flag.String("config", "", "load the package configuration from a JSON file (see -saveconfig)")
-		cfgDump = flag.String("saveconfig", "", "write the effective configuration as JSON to this file and exit")
-		heatmap = flag.String("heatmap", "", "write the chip-layer temperature field at the optimum as CSV")
+		res      = flag.Int("res", 16, "chip-layer grid resolution (cells per edge)")
+		tmaxC    = flag.Float64("tmax", 90, "thermal threshold T_max in °C")
+		ambient  = flag.Float64("ambient", 45, "ambient temperature in °C")
+		cfgPath  = flag.String("config", "", "load the package configuration from a JSON file (see -saveconfig)")
+		cfgDump  = flag.String("saveconfig", "", "write the effective configuration as JSON to this file and exit")
+		heatmap  = flag.String("heatmap", "", "write the chip-layer temperature field at the optimum as CSV")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the controller run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile on exit to this file")
@@ -141,7 +143,7 @@ func main() {
 		opts.Solver.Trace = ring.Record
 	}
 
-	setup := experiments.Setup{Config: cfg, Benchmarks: workload.All()}
+	setup := experiments.Setup{Config: cfg, Benchmarks: workload.All(), Backend: *backendName}
 	sys, err := setup.System(*bench)
 	if err != nil {
 		log.Fatal(err)
@@ -150,10 +152,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := sys.Model()
+	m, ok := backend.ModelOf(sys.Backend())
+	if !ok {
+		log.Fatalf("backend %q exposes no underlying model", sys.Backend().Name())
+	}
 	fmt.Printf("benchmark    %s — %s\n", b.Name, b.Description)
-	fmt.Printf("model        %d nodes, %d TEC modules, %.1f W dynamic power\n",
-		m.NumNodes(), m.NumTEC(), m.DynamicPowerTotal())
+	fmt.Printf("model        %d nodes, %d TEC modules, %.1f W dynamic power (backend %s)\n",
+		m.NumNodes(), m.NumTEC(), m.DynamicPowerTotal(), sys.Backend().Name())
 	fmt.Printf("constraints  T_max %.1f °C, ω ≤ %.0f RPM, I ≤ %.1f A, ambient %.1f °C\n\n",
 		units.KToC(cfg.TMax), units.RadPerSecToRPM(cfg.Fan.OmegaMax), cfg.TEC.MaxCurrent, units.KToC(cfg.Ambient))
 

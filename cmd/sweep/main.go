@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sweep [-bench Basicmath] [-nomega 40] [-ni 26] [-res 16] [-parallel 0]
+//	sweep [-bench Basicmath] [-backend full] [-nomega 40] [-ni 26] [-res 16] [-parallel 0]
 //	      [-timeout 5m] [-o out.csv]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
+	"oftec/internal/backend"
 	"oftec/internal/experiments"
 	"oftec/internal/profiling"
 	"oftec/internal/thermal"
@@ -35,15 +37,16 @@ func main() {
 	log.SetPrefix("sweep: ")
 
 	var (
-		bench      = flag.String("bench", "Basicmath", "benchmark name (the paper plots Basicmath)")
-		nOmega     = flag.Int("nomega", 40, "grid points along the ω axis")
-		nI         = flag.Int("ni", 26, "grid points along the I_TEC axis")
-		res        = flag.Int("res", 16, "chip-layer grid resolution")
-		par        = flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = serial)")
-		timeout    = flag.Duration("timeout", 0, "bound the whole sweep; on expiry exit nonzero (0 = none)")
-		out        = flag.String("o", "", "output file (default stdout)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile on exit to this file")
+		bench       = flag.String("bench", "Basicmath", "benchmark name (the paper plots Basicmath)")
+		backendName = flag.String("backend", "", "evaluation backend: "+strings.Join(backend.Names(), ", ")+" (default full; rom serves coarse passes fast)")
+		nOmega      = flag.Int("nomega", 40, "grid points along the ω axis")
+		nI          = flag.Int("ni", 26, "grid points along the I_TEC axis")
+		res         = flag.Int("res", 16, "chip-layer grid resolution")
+		par         = flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = serial)")
+		timeout     = flag.Duration("timeout", 0, "bound the whole sweep; on expiry exit nonzero (0 = none)")
+		out         = flag.String("o", "", "output file (default stdout)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile on exit to this file")
 	)
 	flag.Parse()
 
@@ -62,7 +65,7 @@ func main() {
 
 	cfg := thermal.DefaultConfig()
 	cfg.ChipRes = *res
-	setup := experiments.Setup{Config: cfg, Benchmarks: workload.All()}
+	setup := experiments.Setup{Config: cfg, Benchmarks: workload.All(), Backend: *backendName}
 
 	ctx := context.Background()
 	if *timeout > 0 {

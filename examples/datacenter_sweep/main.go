@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 
+	"oftec/internal/backend"
 	"oftec/internal/core"
 	"oftec/internal/thermal"
 	"oftec/internal/units"
@@ -45,7 +46,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sys := core.NewSystem(model)
+		sys := core.NewSystem(backend.NewFull(model))
 		out, err := sys.Run(core.Options{Mode: core.ModeHybrid})
 		if err != nil {
 			log.Fatal(err)

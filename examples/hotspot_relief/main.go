@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log"
 
+	"oftec/internal/backend"
 	"oftec/internal/core"
 	"oftec/internal/floorplan"
 	"oftec/internal/power"
@@ -64,7 +65,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sys := core.NewSystem(model)
+		sys := core.NewSystem(backend.NewFull(model))
 		out, err := sys.MinimizeMaxTemp(core.Options{Mode: core.ModeHybrid})
 		if err != nil {
 			log.Fatal(err)

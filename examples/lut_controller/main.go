@@ -18,6 +18,7 @@ import (
 	"log"
 	"time"
 
+	"oftec/internal/backend"
 	"oftec/internal/controller"
 	"oftec/internal/core"
 	"oftec/internal/thermal"
@@ -41,7 +42,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys := core.NewSystem(model)
+	sys := core.NewSystem(backend.NewFull(model))
 
 	// Offline: precompute the table (this is the expensive part).
 	levels := []float64{15, 20, 25, 30, 35, 40}
@@ -72,7 +73,7 @@ func main() {
 	if err := model.SetDynamicPower(base.Scale(28.0 / base.Total())); err != nil {
 		log.Fatal(err)
 	}
-	cold := core.NewSystem(model)
+	cold := core.NewSystem(backend.NewFull(model))
 	out, err := cold.Run(core.Options{Mode: core.ModeHybrid})
 	if err != nil {
 		log.Fatal(err)

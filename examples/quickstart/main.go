@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 
+	"oftec/internal/backend"
 	"oftec/internal/core"
 	"oftec/internal/thermal"
 	"oftec/internal/units"
@@ -42,7 +43,7 @@ func main() {
 
 	// 4. Run OFTEC: find (ω*, I*_TEC) minimizing cooling power subject to
 	//    the thermal constraint.
-	sys := core.NewSystem(model)
+	sys := core.NewSystem(backend.NewFull(model))
 	oftec, err := sys.Run(core.Options{Mode: core.ModeHybrid})
 	if err != nil {
 		log.Fatal(err)

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 
+	"oftec/internal/backend"
 	"oftec/internal/controller"
 	"oftec/internal/core"
 	"oftec/internal/thermal"
@@ -50,7 +51,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys := core.NewSystem(model)
+	sys := core.NewSystem(backend.NewFull(model))
 	before, err := sys.Run(core.Options{Mode: core.ModeHybrid})
 	if err != nil {
 		log.Fatal(err)
@@ -68,7 +69,7 @@ func main() {
 	if err := model.SetDynamicPower(heavyMap); err != nil {
 		log.Fatal(err)
 	}
-	sysHeavy := core.NewSystem(model)
+	sysHeavy := core.NewSystem(backend.NewFull(model))
 	after, err := sysHeavy.Run(core.Options{Mode: core.ModeHybrid})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,120 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"oftec/internal/power"
+	"oftec/internal/thermal"
+)
+
+// Full is the exact backend: every evaluation is the sparse steady-state
+// solve of the complete thermal network (with the model's own
+// factorization cache and result memo underneath). It is the
+// authoritative end of every fall-through chain.
+type Full struct {
+	m *thermal.Model
+
+	// The ROM sibling is built lazily, once; construction costs a few
+	// dozen snapshot solves, so a caller that never selects "rom" never
+	// pays for it.
+	romOnce sync.Once
+	rom     Evaluator
+	romErr  error
+}
+
+// NewFull wraps an assembled thermal model as the exact backend.
+func NewFull(m *thermal.Model) *Full { return &Full{m: m} }
+
+// Name identifies the backend.
+func (f *Full) Name() string { return "full" }
+
+// Config returns the underlying model's configuration.
+func (f *Full) Config() thermal.Config { return f.m.Config() }
+
+// Model exposes the underlying model for cmd-level reporting.
+func (f *Full) Model() *thermal.Model { return f.m }
+
+// Evaluate computes the exact steady state. Zoned (k > 1) points need a
+// zone-to-cell map and must go through WithZoning.
+func (f *Full) Evaluate(_ context.Context, op OpPoint, warm []float64) (*thermal.Result, error) {
+	if err := op.validate(); err != nil {
+		return nil, err
+	}
+	if op.K() != 1 {
+		return nil, fmt.Errorf("backend: full backend got a %d-zone point without zoning (use WithZoning)", op.K())
+	}
+	return f.m.EvaluateWarm(op.Omega, op.Currents[0], warm)
+}
+
+// EvaluateExact verifies a scalar point with the exact exponential
+// leakage model.
+func (f *Full) EvaluateExact(omega, itec float64) (*thermal.Result, error) {
+	return f.m.EvaluateExact(omega, itec)
+}
+
+// NewTransient starts a transient simulation from t0.
+func (f *Full) NewTransient(omega, itec float64, t0 []float64) (Transient, error) {
+	return f.m.NewTransient(omega, itec, t0)
+}
+
+// SetDynamicPower replaces the workload's dynamic power input.
+func (f *Full) SetDynamicPower(dyn power.Map) error { return f.m.SetDynamicPower(dyn) }
+
+// DynamicPowerTotal returns the summed dynamic power in watts.
+func (f *Full) DynamicPowerTotal() float64 { return f.m.DynamicPowerTotal() }
+
+// InstantaneousPowers accounts leakage and TEC power for an arbitrary
+// temperature field.
+func (f *Full) InstantaneousPowers(temps []float64, itec float64) (leak, tec float64, err error) {
+	return f.m.InstantaneousPowers(temps, itec)
+}
+
+// NewZoning builds a validated zone assignment over the model's grid.
+func (f *Full) NewZoning(assign map[string]int, numZones int) (*thermal.Zoning, error) {
+	return f.m.NewZoning(assign, numZones)
+}
+
+// WithZoning returns an evaluator for zoned operating points: OpPoint
+// carries one current per zone of z.
+func (f *Full) WithZoning(z *thermal.Zoning) (Evaluator, error) {
+	if z == nil {
+		return nil, fmt.Errorf("backend: nil zoning")
+	}
+	return &zonedFull{m: f.m, z: z}, nil
+}
+
+// Select returns the named sibling backend over the same model.
+func (f *Full) Select(name string) (Evaluator, error) {
+	switch name {
+	case "", "full":
+		return f, nil
+	case "rom":
+		f.romOnce.Do(func() {
+			f.rom, f.romErr = NewROM(f, thermal.ROMOptions{})
+		})
+		return f.rom, f.romErr
+	default:
+		return nil, fmt.Errorf("backend: unknown backend %q (have %v)", name, Names())
+	}
+}
+
+// zonedFull evaluates k-zone operating points on the full model. A
+// single-zone point is delegated to the scalar path inside the thermal
+// layer, so k=1 zoned evaluation is bit-identical to scalar evaluation.
+type zonedFull struct {
+	m *thermal.Model
+	z *thermal.Zoning
+}
+
+func (zf *zonedFull) Name() string           { return "full/zoned" }
+func (zf *zonedFull) Config() thermal.Config { return zf.m.Config() }
+func (zf *zonedFull) Model() *thermal.Model  { return zf.m }
+
+func (zf *zonedFull) Evaluate(_ context.Context, op OpPoint, warm []float64) (*thermal.Result, error) {
+	if err := op.validate(); err != nil {
+		return nil, err
+	}
+	return zf.m.EvaluateZonedWarm(op.Omega, zf.z, op.Currents, warm)
+}

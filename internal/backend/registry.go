@@ -1,0 +1,80 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"oftec/internal/power"
+	"oftec/internal/thermal"
+)
+
+// Factory builds a registered backend over an assembled model.
+type Factory func(m *thermal.Model) (Plant, error)
+
+var registry = struct {
+	sync.RWMutex
+	factories map[string]Factory
+}{factories: map[string]Factory{}}
+
+// Register adds a named backend factory. Registering a duplicate name
+// panics: backends are wired at init time and a silent overwrite would
+// make -backend selection depend on package-init order.
+func Register(name string, f Factory) {
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.factories[name]; dup {
+		panic(fmt.Sprintf("backend: duplicate registration of %q", name))
+	}
+	registry.factories[name] = f
+}
+
+// Names lists the registered backends, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.factories))
+	for n := range registry.factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New assembles a thermal model for (cfg, dyn) and wraps it in the named
+// backend. An empty name selects "full".
+func New(name string, cfg thermal.Config, dyn power.Map) (Plant, error) {
+	m, err := thermal.NewModel(cfg, dyn)
+	if err != nil {
+		return nil, err
+	}
+	return FromModel(name, m)
+}
+
+// FromModel wraps an existing model in the named backend. An empty name
+// selects "full".
+func FromModel(name string, m *thermal.Model) (Plant, error) {
+	if name == "" {
+		name = "full"
+	}
+	registry.RLock()
+	f, ok := registry.factories[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown backend %q (have %v)", name, Names())
+	}
+	return f(m)
+}
+
+func init() {
+	Register("full", func(m *thermal.Model) (Plant, error) {
+		return NewFull(m), nil
+	})
+	Register("rom", func(m *thermal.Model) (Plant, error) {
+		ev, err := NewFull(m).Select("rom")
+		if err != nil {
+			return nil, err
+		}
+		return ev.(*ROM), nil
+	})
+}

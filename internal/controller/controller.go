@@ -8,11 +8,12 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
-	"oftec/internal/thermal"
+	"oftec/internal/backend"
 	"oftec/internal/units"
 )
 
@@ -127,20 +128,20 @@ type TracePoint struct {
 	ITEC     float64 // A
 }
 
-// Simulate runs the controller against the model's transient simulation
+// Simulate runs the controller against the plant's transient simulation
 // for the given duration. The plant advances with step dtSim; the
 // controller is sampled every dtCtrl (which must be ≥ dtSim). The initial
 // state is the steady state at the controller's initial action, unless
 // fromAmbient is set, in which case the stack starts at ambient.
-func Simulate(m *thermal.Model, ctrl Controller, duration, dtSim, dtCtrl float64, fromAmbient bool) ([]TracePoint, error) {
+func Simulate(p backend.Plant, ctrl Controller, duration, dtSim, dtCtrl float64, fromAmbient bool) ([]TracePoint, error) {
 	if dtSim <= 0 || dtCtrl < dtSim || duration <= 0 {
 		return nil, fmt.Errorf("controller: invalid timing (duration %g, dtSim %g, dtCtrl %g)", duration, dtSim, dtCtrl)
 	}
-	omega, itec := ctrl.Act(0, m.Config().Ambient)
+	omega, itec := ctrl.Act(0, p.Config().Ambient)
 
 	var init []float64
 	if !fromAmbient {
-		ss, err := m.Evaluate(omega, itec)
+		ss, err := p.Evaluate(context.Background(), backend.Scalar(omega, itec), nil)
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +149,7 @@ func Simulate(m *thermal.Model, ctrl Controller, duration, dtSim, dtCtrl float64
 			init = ss.T
 		}
 	}
-	tr, err := m.NewTransient(omega, itec, init)
+	tr, err := p.NewTransient(omega, itec, init)
 	if err != nil {
 		return nil, err
 	}

@@ -4,12 +4,15 @@ import (
 	"math"
 	"testing"
 
+	"oftec/internal/backend"
 	"oftec/internal/thermal"
 	"oftec/internal/units"
 	"oftec/internal/workload"
 )
 
-func testModel(t *testing.T, bench string) *thermal.Model {
+// testModel builds a coarse-grid plant (the full backend over a fresh
+// thermal model) for the closed-loop simulation tests.
+func testModel(t *testing.T, bench string) backend.Plant {
 	t.Helper()
 	cfg := thermal.DefaultConfig()
 	cfg.ChipRes = 8
@@ -28,7 +31,7 @@ func testModel(t *testing.T, bench string) *thermal.Model {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return m
+	return backend.NewFull(m)
 }
 
 func TestThresholdControllerSwitches(t *testing.T) {

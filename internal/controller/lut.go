@@ -3,6 +3,7 @@ package controller
 import (
 	"fmt"
 
+	"oftec/internal/backend"
 	"oftec/internal/core"
 	"oftec/internal/power"
 )
@@ -26,13 +27,16 @@ func BuildLUT(sys *core.System, base power.Map, totalPowers []float64, opts core
 	if baseTotal <= 0 {
 		return nil, fmt.Errorf("controller: base power map has non-positive total %g", baseTotal)
 	}
-	model := sys.Model()
+	plant, ok := sys.Backend().(backend.Plant)
+	if !ok {
+		return nil, fmt.Errorf("controller: backend %q cannot change workloads", sys.Backend().Name())
+	}
 	originalCells := base.Clone()
 	defer func() {
-		// Restore the model's original workload regardless of outcome; the
+		// Restore the plant's original workload regardless of outcome; the
 		// clone was accepted once, so a second Set cannot newly fail.
 		//lint:ignore errdrop restore-on-defer of an already-validated map
-		_ = model.SetDynamicPower(originalCells)
+		_ = plant.SetDynamicPower(originalCells)
 	}()
 
 	entries := make([]LUTEntry, 0, len(totalPowers))
@@ -40,12 +44,12 @@ func BuildLUT(sys *core.System, base power.Map, totalPowers []float64, opts core
 		if level <= 0 {
 			return nil, fmt.Errorf("controller: power level %g must be positive", level)
 		}
-		if err := model.SetDynamicPower(base.Scale(level / baseTotal)); err != nil {
+		if err := plant.SetDynamicPower(base.Scale(level / baseTotal)); err != nil {
 			return nil, err
 		}
 		// A fresh system per level: the evaluation cache keys only on the
 		// operating point, not on the workload.
-		levelSys := core.NewSystem(model)
+		levelSys := core.NewSystem(plant)
 		opts.Mode = core.ModeHybrid
 		out, err := levelSys.Run(opts)
 		if err != nil {

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"oftec/internal/backend"
 	"oftec/internal/core"
-	"oftec/internal/thermal"
 )
 
 // OFTECOnline is the online controller the paper anticipates in Section
@@ -16,12 +16,12 @@ import (
 // optionally boosts the TEC current (the ref [8] bridge) while the next
 // solution would still be computing.
 //
-// The controller reads the model's current workload when it re-plans, so
-// it must drive the same model instance the simulation updates (which is
+// The controller reads the plant's current workload when it re-plans, so
+// it must drive the same plant instance the simulation updates (which is
 // what TraceSimulate does).
 type OFTECOnline struct {
-	// Model is the plant whose workload is sensed at each re-plan.
-	Model *thermal.Model
+	// Plant is the backend whose workload is sensed at each re-plan.
+	Plant backend.Plant
 	// ReplanPeriod is the simulated time between optimizations (the paper
 	// measures ~0.4 s per solve).
 	ReplanPeriod float64
@@ -43,8 +43,8 @@ type OFTECOnline struct {
 
 // Validate reports whether the controller is runnable.
 func (c *OFTECOnline) Validate() error {
-	if c.Model == nil {
-		return fmt.Errorf("controller: online OFTEC needs a model")
+	if c.Plant == nil {
+		return fmt.Errorf("controller: online OFTEC needs a plant")
 	}
 	if c.ReplanPeriod <= 0 {
 		return fmt.Errorf("controller: re-plan period %g must be positive", c.ReplanPeriod)
@@ -70,7 +70,7 @@ func (c *OFTECOnline) replan() {
 	start := time.Now()
 	opts := c.Options
 	opts.Mode = core.ModeHybrid
-	out, err := core.NewSystem(c.Model).Run(opts)
+	out, err := core.NewSystem(c.Plant).Run(opts)
 	c.SolveTime += time.Since(start)
 	c.Replans++
 	if err != nil {

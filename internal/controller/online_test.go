@@ -9,21 +9,21 @@ import (
 
 func TestOFTECOnlineValidate(t *testing.T) {
 	m := testModel(t, "CRC32")
-	good := &OFTECOnline{Model: m, ReplanPeriod: 0.5}
+	good := &OFTECOnline{Plant: m, ReplanPeriod: 0.5}
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	if err := (&OFTECOnline{ReplanPeriod: 0.5}).Validate(); err == nil {
 		t.Error("nil model accepted")
 	}
-	if err := (&OFTECOnline{Model: m}).Validate(); err == nil {
+	if err := (&OFTECOnline{Plant: m}).Validate(); err == nil {
 		t.Error("zero period accepted")
 	}
 }
 
 func TestOFTECOnlineReplansOnSchedule(t *testing.T) {
 	m := testModel(t, "Basicmath")
-	c := &OFTECOnline{Model: m, ReplanPeriod: 1.0}
+	c := &OFTECOnline{Plant: m, ReplanPeriod: 1.0}
 	if err := c.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestOFTECOnlineTracksLoadChanges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := &OFTECOnline{Model: m, ReplanPeriod: 0.25}
+	c := &OFTECOnline{Plant: m, ReplanPeriod: 0.25}
 	if err := c.Validate(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,12 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"oftec/internal/backend"
 	"oftec/internal/power"
-	"oftec/internal/thermal"
 	"oftec/internal/units"
 )
 
@@ -26,9 +27,9 @@ func (p DetailPoint) CoolingPowerW() float64 { return p.LeakageW + p.TECW + p.Fa
 // the plant's dynamic power follows the trace under a zero-order hold
 // while the controller is sampled every dtCtrl. This is the closed-loop
 // DTM experiment the paper's runtime discussion anticipates (controllers
-// reacting to PTscalar-style phase behaviour). The model's workload is
+// reacting to PTscalar-style phase behaviour). The plant's workload is
 // restored afterwards.
-func TraceSimulate(m *thermal.Model, ctrl Controller, tr *power.Trace, duration, dtSim, dtCtrl float64, fromAmbient bool) ([]DetailPoint, error) {
+func TraceSimulate(p backend.Plant, ctrl Controller, tr *power.Trace, duration, dtSim, dtCtrl float64, fromAmbient bool) ([]DetailPoint, error) {
 	if dtSim <= 0 || dtCtrl < dtSim || duration <= 0 {
 		return nil, fmt.Errorf("controller: invalid timing (duration %g, dtSim %g, dtCtrl %g)", duration, dtSim, dtCtrl)
 	}
@@ -39,19 +40,19 @@ func TraceSimulate(m *thermal.Model, ctrl Controller, tr *power.Trace, duration,
 	if err != nil {
 		return nil, err
 	}
-	// The model's workload is left at the trace's first sample on return
-	// (the per-unit input cannot be read back out of the model).
-	//lint:ignore errdrop restore-on-defer of a sample the model accepted
-	defer func() { _ = m.SetDynamicPower(first) }()
+	// The plant's workload is left at the trace's first sample on return
+	// (the per-unit input cannot be read back out of the plant).
+	//lint:ignore errdrop restore-on-defer of a sample the plant accepted
+	defer func() { _ = p.SetDynamicPower(first) }()
 
-	if err := m.SetDynamicPower(first); err != nil {
+	if err := p.SetDynamicPower(first); err != nil {
 		return nil, err
 	}
-	omega, itec := ctrl.Act(0, m.Config().Ambient)
+	omega, itec := ctrl.Act(0, p.Config().Ambient)
 
 	var init []float64
 	if !fromAmbient {
-		ss, err := m.Evaluate(omega, itec)
+		ss, err := p.Evaluate(context.Background(), backend.Scalar(omega, itec), nil)
 		if err != nil {
 			return nil, err
 		}
@@ -59,7 +60,7 @@ func TraceSimulate(m *thermal.Model, ctrl Controller, tr *power.Trace, duration,
 			init = ss.T
 		}
 	}
-	sim, err := m.NewTransient(omega, itec, init)
+	sim, err := p.NewTransient(omega, itec, init)
 	if err != nil {
 		return nil, err
 	}
@@ -67,14 +68,14 @@ func TraceSimulate(m *thermal.Model, ctrl Controller, tr *power.Trace, duration,
 	var out []DetailPoint
 	maxTemp, _ := sim.ChipState()
 	nextCtrl := 0.0
-	fan := m.Config().Fan
+	fan := p.Config().Fan
 	for sim.Time() < duration {
 		now := sim.Time()
 		pm, err := tr.At(now)
 		if err != nil {
 			return nil, err
 		}
-		if err := m.SetDynamicPower(pm); err != nil {
+		if err := p.SetDynamicPower(pm); err != nil {
 			return nil, err
 		}
 		if now >= nextCtrl {
@@ -88,7 +89,7 @@ func TraceSimulate(m *thermal.Model, ctrl Controller, tr *power.Trace, duration,
 		if err != nil {
 			return nil, err
 		}
-		leak, tec, err := m.InstantaneousPowers(sim.Temperatures(), itec)
+		leak, tec, err := p.InstantaneousPowers(sim.Temperatures(), itec)
 		if err != nil {
 			return nil, err
 		}
@@ -126,6 +127,7 @@ type Summary struct {
 // Summarize reduces a detailed trace against a thermal limit (°C). The
 // limit is taken in Celsius on purpose: the summary mirrors the °C
 // figures the paper reports, alongside TracePoint.MaxTempC.
+//
 //lint:ignore unitsuffix reporting API mirrors the paper's °C figures
 func Summarize(trace []DetailPoint, tMaxC float64) Summary {
 	var s Summary

@@ -1,9 +1,11 @@
 package controller
 
 import (
+	"context"
 	"math"
 	"testing"
 
+	"oftec/internal/backend"
 	"oftec/internal/units"
 	"oftec/internal/workload"
 )
@@ -51,7 +53,7 @@ func TestTraceSimulateFollowsWorkloadPhases(t *testing.T) {
 	if err := m.SetDynamicPower(maxMap); err != nil {
 		t.Fatal(err)
 	}
-	peakSS, err := m.Evaluate(units.RPMToRadPerSec(3000), 1)
+	peakSS, err := m.Evaluate(context.Background(), backend.Scalar(units.RPMToRadPerSec(3000), 1), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSingleZoneMatchesScalarRun is the backend-layer conformance gate:
+// a zoned run with one zone covering the whole die optimizes the same
+// two-variable problem as the scalar Run, through the same shared
+// evaluation cache, so the two paths must agree on the operating point
+// and the cooling power to near machine precision in every mode. The
+// k = 1 zoned evaluator delegates to the scalar solve inside the
+// thermal layer, so the objectives are bit-identical and the
+// deterministic solvers walk identical iterates.
+func TestSingleZoneMatchesScalarRun(t *testing.T) {
+	const tol = 1e-12
+	for _, mode := range []Mode{ModeHybrid, ModeVariableFan, ModeFixedFan, ModeTECOnly} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := benchSystem(t, "Basicmath")
+			m := testModelOf(t, s)
+			assign := map[string]int{}
+			for _, u := range s.Config().Floorplan.Units() {
+				assign[u.Name] = 0
+			}
+			z, err := m.NewZoning(assign, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			scalar, err := s.Run(Options{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			zoned, err := s.RunZoned(z, Options{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if zoned.Feasible != scalar.Feasible {
+				t.Fatalf("feasibility diverges: zoned %t, scalar %t", zoned.Feasible, scalar.Feasible)
+			}
+			if len(zoned.Currents) != 1 {
+				t.Fatalf("single-zone run returned %d currents", len(zoned.Currents))
+			}
+			if d := math.Abs(zoned.Omega - scalar.Omega); d > tol {
+				t.Errorf("ω* diverges by %g (zoned %v, scalar %v)", d, zoned.Omega, scalar.Omega)
+			}
+			if d := math.Abs(zoned.Currents[0] - scalar.ITEC); d > tol {
+				t.Errorf("I* diverges by %g (zoned %v, scalar %v)", d, zoned.Currents[0], scalar.ITEC)
+			}
+			if scalar.Result != nil && zoned.Result != nil {
+				if d := math.Abs(zoned.CoolingPower() - scalar.CoolingPower()); d > tol {
+					t.Errorf("𝒫* diverges by %g (zoned %v, scalar %v)",
+						d, zoned.CoolingPower(), scalar.CoolingPower())
+				}
+				if d := math.Abs(zoned.Result.MaxChipTemp - scalar.Result.MaxChipTemp); d > tol {
+					t.Errorf("𝒯* diverges by %g", d)
+				}
+			}
+		})
+	}
+}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"oftec/internal/backend"
+	"oftec/internal/evalcache"
 	"oftec/internal/parallel"
 	"oftec/internal/solver"
 	"oftec/internal/thermal"
@@ -17,6 +20,11 @@ type Options struct {
 	// Method selects the NLP technique; the zero value is the paper's
 	// active-set SQP.
 	Method Method
+	// Backend names the evaluation backend for this run ("full", "rom");
+	// empty uses the backend the System was built on. Named backends are
+	// resolved through the backend's Selector capability and share the
+	// System's evaluation cache (in their own key space).
+	Backend string
 	// FixedOmega is the pinned fan speed for ModeFixedFan, in rad/s. Zero
 	// selects the paper's 2000 RPM.
 	FixedOmega float64
@@ -27,6 +35,7 @@ type Options struct {
 	SkipOpt1 bool
 	// VerifyExact re-evaluates the final operating point with the exact
 	// exponential leakage model and reports it in Outcome.ExactResult.
+	// Scalar (single-zone) runs only; zoned runs ignore it.
 	VerifyExact bool
 	// ConstraintMargin backs the optimizer's constraint off the strict
 	// threshold: the solver enforces T ≤ T_max − margin so the returned
@@ -96,7 +105,8 @@ type Outcome struct {
 	// Omega and ITEC are the chosen operating point (ω*, I*_TEC).
 	Omega, ITEC float64
 	// Result is the steady state at the operating point (linearized
-	// leakage, the model the optimizer used).
+	// leakage), computed by the authoritative end of the backend chain —
+	// an approximate backend never certifies its own result.
 	Result *thermal.Result
 	// ExactResult is the steady state under exact exponential leakage
 	// (only when Options.VerifyExact).
@@ -140,6 +150,19 @@ func (o *Outcome) String() string {
 		o.Mode, o.Method, units.RadPerSecToRPM(o.Omega), o.ITEC, status, o.Runtime.Round(time.Millisecond))
 }
 
+// vecOutcome is the mode-agnostic result of one Algorithm 1 run in the
+// unified decision space x = (ω, I_1..I_k); Run and RunZoned translate it
+// into their public outcome types.
+type vecOutcome struct {
+	x            []float64
+	result       *thermal.Result
+	exact        *thermal.Result
+	feasible     bool
+	failedAtOpt2 bool
+	minMaxTemp   float64
+	opt2, opt1   solver.Report
+}
+
 // Run executes Algorithm 1 (OFTEC):
 //
 //  1. Start from (ω_max/2, I_max/2) — the middle of the plane, where
@@ -151,28 +174,63 @@ func (o *Outcome) String() string {
 //     from the feasible point and return (ω*, I*_TEC).
 //
 // Baseline modes run the same algorithm in their restricted decision
-// spaces.
+// spaces; RunZoned runs it over one current per zone. Options.Backend
+// selects the evaluation backend for the optimization's inner loop.
 func (s *System) Run(opts Options) (*Outcome, error) {
 	start := time.Now()
-	cfg := s.model.Config()
-
-	lower, upper, err := s.bounds(opts.Mode, opts.fixedOmega())
+	sel, err := s.binding(opts.Backend)
 	if err != nil {
 		return nil, err
 	}
-	out := &Outcome{Mode: opts.Mode, Method: opts.Method}
+	v, err := s.runVector(sel.bnd, 1, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Mode:         opts.Mode,
+		Method:       opts.Method,
+		Omega:        v.x[0],
+		ITEC:         v.x[1],
+		Result:       v.result,
+		ExactResult:  v.exact,
+		Feasible:     v.feasible,
+		FailedAtOpt2: v.failedAtOpt2,
+		MinMaxTemp:   v.minMaxTemp,
+		Opt2Report:   v.opt2,
+		Opt1Report:   v.opt1,
+		Runtime:      time.Since(start),
+	}
+	return out, nil
+}
+
+// runVector is Algorithm 1 over the unified decision vector x =
+// (ω, I_1..I_k): the k = 1 case is the paper's scalar deployment, k > 1
+// the zoned generalization. Both phases evaluate through bnd (the cached
+// backend); the final point is certified by the authoritative end of the
+// backend chain in finishVector.
+func (s *System) runVector(bnd *evalcache.Binding, k int, opts Options) (*vecOutcome, error) {
+	cfg := s.ev.Config()
+
+	lower, upper, err := s.bounds(opts.Mode, opts.fixedOmega(), k)
+	if err != nil {
+		return nil, err
+	}
+	out := &vecOutcome{}
 
 	// Line 1: initial point at the middle of the (restricted) domain.
-	x0 := []float64{(lower[0] + upper[0]) / 2, (lower[1] + upper[1]) / 2}
+	x0 := make([]float64, 1+k)
+	for i := range x0 {
+		x0[i] = (lower[i] + upper[i]) / 2
+	}
 
 	tMaxSolve := opts.tMax(cfg) - opts.margin()
-	eval := evalFunc(s.Evaluate)
+	eval := bindingEval(bnd)
 	if opts.WarmStart {
-		eval = (&warmCarry{sys: s}).evaluate
+		eval = (&warmCarry{bnd: bnd}).evaluate
 	}
-	tempObj := func(x []float64) float64 { return maxTempObj(eval, x[0], x[1]) }
-	tempCons := func(x []float64) float64 { return maxTempObj(eval, x[0], x[1]) - tMaxSolve }
-	powerObj := func(x []float64) float64 { return coolingPowerObj(eval, x[0], x[1]) }
+	tempObj := func(x []float64) float64 { return maxTempObj(eval, x) }
+	tempCons := func(x []float64) float64 { return maxTempObj(eval, x) - tMaxSolve }
+	powerObj := func(x []float64) float64 { return coolingPowerObj(eval, x) }
 
 	// Both phases solve through one runner: the bare method, or the
 	// fallback chain when requested. MultiStart composes by running the
@@ -208,31 +266,29 @@ func (s *System) Run(opts Options) (*Outcome, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: optimization 2 failed: %w", err)
 		}
-		out.Opt2Report = rep
+		out.opt2 = rep
 		if rep.F <= t1 {
 			x1 = rep.X
 			t1 = rep.F
 		}
 	}
-	out.MinMaxTemp = t1
+	out.minMaxTemp = t1
 
 	if t1 > tMaxSolve {
 		// Line 5: no solution.
-		out.FailedAtOpt2 = true
-		out.Omega, out.ITEC = x1[0], x1[1]
-		if err := s.finish(out, opts); err != nil {
+		out.failedAtOpt2 = true
+		out.x = x1
+		if err := s.finishVector(bnd, out, opts); err != nil {
 			return nil, err
 		}
-		out.Runtime = time.Since(start)
 		return out, nil
 	}
 
 	if opts.SkipOpt1 {
-		out.Omega, out.ITEC = x1[0], x1[1]
-		if err := s.finish(out, opts); err != nil {
+		out.x = x1
+		if err := s.finishVector(bnd, out, opts); err != nil {
 			return nil, err
 		}
-		out.Runtime = time.Since(start)
 		return out, nil
 	}
 
@@ -254,7 +310,7 @@ func (s *System) Run(opts Options) (*Outcome, error) {
 		starts = append([][]float64{x1}, starts...)
 		so := opts.Solver
 		if so.Workers == 0 {
-			// The System objectives are safe for concurrent use, so the
+			// The cached objectives are safe for concurrent use, so the
 			// corner launch fans out unless the caller pinned a width.
 			so.Workers = parallel.Workers(opts.Workers)
 		}
@@ -265,19 +321,18 @@ func (s *System) Run(opts Options) (*Outcome, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: optimization 1 failed: %w", err)
 	}
-	out.Opt1Report = rep
+	out.opt1 = rep
 
 	// Guard against a merit-function compromise: if the optimizer ended
 	// slightly infeasible, fall back to the feasible point from phase 2.
 	if rep.Feasible(1e-6) {
-		out.Omega, out.ITEC = rep.X[0], rep.X[1]
+		out.x = rep.X
 	} else {
-		out.Omega, out.ITEC = x1[0], x1[1]
+		out.x = x1
 	}
-	if err := s.finish(out, opts); err != nil {
+	if err := s.finishVector(bnd, out, opts); err != nil {
 		return nil, err
 	}
-	out.Runtime = time.Since(start)
 	return out, nil
 }
 
@@ -290,23 +345,32 @@ func (s *System) MinimizeMaxTemp(opts Options) (*Outcome, error) {
 	return s.Run(opts)
 }
 
-// finish evaluates the final operating point and fills the outcome.
-func (s *System) finish(out *Outcome, opts Options) error {
-	res, err := s.Evaluate(out.Omega, out.ITEC)
+// finishVector evaluates the final operating point and fills the outcome.
+// The evaluation goes to the authoritative end of the binding's backend
+// chain, so a reduced-order backend can steer the search but never
+// certify the returned operating point.
+func (s *System) finishVector(bnd *evalcache.Binding, out *vecOutcome, opts Options) error {
+	op := backend.OpPoint{Omega: out.x[0], Currents: append([]float64(nil), out.x[1:]...)}
+	auth := backend.Authoritative(bnd)
+	res, err := auth.Evaluate(context.Background(), op, nil)
 	if err != nil {
 		return err
 	}
-	out.Result = res
-	out.Feasible = res.MeetsConstraint(opts.tMax(s.model.Config()))
-	if out.FailedAtOpt2 {
-		out.Feasible = false
+	out.result = res
+	out.feasible = res.MeetsConstraint(opts.tMax(s.ev.Config()))
+	if out.failedAtOpt2 {
+		out.feasible = false
 	}
-	if opts.VerifyExact {
-		exact, err := s.model.EvaluateExact(out.Omega, out.ITEC)
+	if opts.VerifyExact && op.K() == 1 {
+		ex, ok := auth.(backend.ExactEvaluator)
+		if !ok {
+			return fmt.Errorf("core: backend %q cannot verify exactly", auth.Name())
+		}
+		exact, err := ex.EvaluateExact(op.Omega, op.Currents[0])
 		if err != nil {
 			return err
 		}
-		out.ExactResult = exact
+		out.exact = exact
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"oftec/internal/backend"
 	"oftec/internal/floorplan"
 	"oftec/internal/power"
 	"oftec/internal/solver"
@@ -26,6 +27,14 @@ func testConfig() thermal.Config {
 
 func benchSystem(t *testing.T, bench string) *System {
 	t.Helper()
+	return benchSystemCap(t, bench, 0)
+}
+
+// benchSystemCap builds a system over the full backend with an explicit
+// evaluation-cache generation capacity (zero = default); the eviction
+// tests use tiny capacities to force rotations.
+func benchSystemCap(t *testing.T, bench string, capacity int) *System {
+	t.Helper()
 	cfg := testConfig()
 	b, err := workload.ByName(bench)
 	if err != nil {
@@ -39,7 +48,19 @@ func benchSystem(t *testing.T, bench string) *System {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewSystem(m)
+	return newSystemCap(backend.NewFull(m), capacity)
+}
+
+// testModelOf digs the underlying physics model out of a system's backend
+// for tests that exercise model-level APIs (zoning construction, hottest
+// unit) alongside the decoupled evaluation path.
+func testModelOf(t *testing.T, s *System) *thermal.Model {
+	t.Helper()
+	m, ok := backend.ModelOf(s.Backend())
+	if !ok {
+		t.Fatalf("backend %q exposes no underlying model", s.Backend().Name())
+	}
+	return m
 }
 
 func TestModeAndMethodStrings(t *testing.T) {
@@ -80,7 +101,7 @@ func TestEvaluateCaching(t *testing.T) {
 
 func TestOFTECOnMildBenchmark(t *testing.T) {
 	s := benchSystem(t, "Basicmath")
-	cfg := s.Model().Config()
+	cfg := s.Config()
 
 	oftec, err := s.Run(Options{Mode: ModeHybrid})
 	if err != nil {
@@ -119,7 +140,7 @@ func TestOFTECOnMildBenchmark(t *testing.T) {
 
 func TestOFTECRescuesHotBenchmark(t *testing.T) {
 	s := benchSystem(t, "Quicksort")
-	cfg := s.Model().Config()
+	cfg := s.Config()
 
 	oftec, err := s.Run(Options{Mode: ModeHybrid})
 	if err != nil {
@@ -239,7 +260,7 @@ func TestSQPNearGridSearchOptimum(t *testing.T) {
 	// search on the true objective (Section 6.2: "the active-set SQP can
 	// find a very high quality solution").
 	s := benchSystem(t, "Stringsearch")
-	cfg := s.Model().Config()
+	cfg := s.Config()
 	out, err := s.Run(Options{Mode: ModeHybrid})
 	if err != nil {
 		t.Fatal(err)
@@ -352,7 +373,7 @@ func TestMultiStartOption(t *testing.T) {
 
 func TestBoundsRejectUnknownMode(t *testing.T) {
 	s := benchSystem(t, "CRC32")
-	if _, _, err := s.bounds(Mode(42), 0); err == nil {
+	if _, _, err := s.bounds(Mode(42), 0, 1); err == nil {
 		t.Error("unknown mode accepted")
 	}
 	if _, err := s.Run(Options{Mode: Mode(42)}); err == nil {
@@ -388,7 +409,7 @@ func TestFlowGeneralityQuadCore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys := NewSystem(m)
+	sys := NewSystem(backend.NewFull(m))
 	out, err := sys.Run(Options{Mode: ModeHybrid})
 	if err != nil {
 		t.Fatal(err)

@@ -41,7 +41,7 @@ func (s *System) ParetoFront(tmaxValues []float64, opts Options) ([]ParetoPoint,
 	if len(tmaxValues) == 0 {
 		return nil, fmt.Errorf("core: Pareto sweep needs at least one threshold")
 	}
-	ambient := s.model.Config().Ambient
+	ambient := s.ev.Config().Ambient
 	sorted := append([]float64(nil), tmaxValues...)
 	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
 	for _, tmax := range sorted {

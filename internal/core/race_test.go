@@ -1,16 +1,17 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
-	"oftec/internal/thermal"
+	"oftec/internal/backend"
 )
 
-// These tests exist for `go test -race`: they hammer the mutex-guarded
-// evaluation caches from concurrent goroutines so the locking in
-// System.Evaluate and zonedSystem.evaluate is actually exercised under
-// the race detector, not just under single-threaded unit tests.
+// These tests exist for `go test -race`: they hammer the shared
+// evaluation cache from concurrent goroutines so the locking in the
+// scalar and zoned evaluation paths is actually exercised under the
+// race detector, not just under single-threaded unit tests.
 
 // TestSystemCacheConcurrent drives overlapping operating points through
 // one shared System from many goroutines: hits and misses interleave,
@@ -63,17 +64,26 @@ func TestSystemCacheConcurrent(t *testing.T) {
 	}
 }
 
-// TestZonedCacheConcurrent hammers the zoned evaluation cache the same
-// way; RunZoned builds one zonedSystem per call and shares it across the
-// solver's evaluations, so the cache must tolerate concurrent access.
+// TestZonedCacheConcurrent hammers the zoned evaluation path the same
+// way: RunZoned binds a zoned evaluator into the system's shared cache
+// and the solver's evaluations flow through that one binding, so the
+// cache must tolerate concurrent zoned traffic.
 func TestZonedCacheConcurrent(t *testing.T) {
 	s := benchSystem(t, "CRC32")
 	assign, k := ClusterZones()
-	zoning, err := s.Model().NewZoning(assign, k)
+	zoner, ok := s.Backend().(backend.Zoner)
+	if !ok {
+		t.Fatalf("backend %q cannot zone", s.Backend().Name())
+	}
+	zoning, err := zoner.NewZoning(assign, k)
 	if err != nil {
 		t.Fatal(err)
 	}
-	zs := &zonedSystem{model: s.Model(), zoning: zoning, cache: make(map[string]*thermal.Result)}
+	zev, err := zoner.WithZoning(zoning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bnd := s.cache.Bind(zev)
 
 	vectors := [][]float64{
 		{100, 0, 0, 0},
@@ -89,7 +99,7 @@ func TestZonedCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 3*len(vectors); i++ {
 				x := vectors[(w+i)%len(vectors)]
-				r, err := zs.evaluate(x)
+				r, err := bnd.Evaluate(context.Background(), backend.OpPoint{Omega: x[0], Currents: x[1:]}, nil)
 				if err != nil {
 					t.Errorf("evaluate(%v): %v", x, err)
 					return

@@ -6,13 +6,20 @@
 // The package also implements the paper's two baselines (variable-speed
 // fan without TECs, fixed-speed fan without TECs) and the TEC-only system
 // used to demonstrate thermal runaway.
+//
+// The optimizer never touches the thermal model directly: every steady
+// state comes from a backend.Evaluator ("full" or "rom") behind the shared
+// evalcache, so the scalar and zoned paths — and any backend the caller
+// selects — share one bounded cache and one set of statistics.
 package core
 
 import (
+	"context"
 	"fmt"
-	"math"
 	"sync"
 
+	"oftec/internal/backend"
+	"oftec/internal/evalcache"
 	"oftec/internal/solver"
 	"oftec/internal/thermal"
 )
@@ -137,168 +144,129 @@ func (m Method) fallbackChain() []solver.NamedRunner {
 	return chain
 }
 
-// System couples a thermal model with the optimization machinery. The
-// embedded evaluation cache makes the objective and constraint share one
-// thermal solve per operating point; it is safe for concurrent use:
-// concurrent misses on the same quantized key coalesce onto a single
-// in-flight solve (singleflight), and the bounded cache evicts by
-// rotating generations so at most half the working set is dropped at
-// once — never the whole cache mid-optimization.
+// System couples a thermal backend with the optimization machinery. All
+// steady-state evaluations — scalar and zoned, from every backend the
+// caller selects — go through one shared evalcache.Cache, so the objective
+// and constraint share one backend solve per operating point. It is safe
+// for concurrent use: concurrent misses on the same quantized key coalesce
+// onto a single in-flight solve (singleflight), and the bounded cache
+// evicts by rotating generations so at most half the working set is
+// dropped at once — never the whole cache mid-optimization.
 type System struct {
-	model *thermal.Model
+	ev     backend.Evaluator
+	cache  *evalcache.Cache
+	scalar *evalcache.Binding
 
-	mu sync.Mutex
-	// cur and old are the two cache generations. Inserts go to cur; a hit
-	// in old promotes the entry back into cur, so any key touched between
-	// two rotations survives the next one.
-	cur, old map[opKey]*thermal.Result
-	// inflight tracks solves in progress so concurrent callers of the
-	// same key wait for one result instead of duplicating the solve.
-	inflight map[opKey]*inflightSolve
-	// capacity bounds each generation (≤ 2·capacity entries total).
-	capacity int
-	stats    CacheStats
+	// selections memoizes Options.Backend resolutions so repeated runs on
+	// the same System reuse one binding (and its cache space) per backend.
+	selMu      sync.Mutex
+	selections map[string]selection
 
 	// solveHook, when non-nil, runs immediately before each underlying
-	// model.Evaluate — i.e. exactly once per deduplicated cache miss.
-	// Test instrumentation only.
+	// scalar backend solve — i.e. exactly once per deduplicated cache
+	// miss. Test instrumentation only; set before any traffic.
 	solveHook func(omega, itec float64)
 }
 
-type opKey struct{ omega, itec float64 }
-
-// inflightSolve is the rendezvous for callers coalesced onto one solve:
-// the leader closes done after filling res/err.
-type inflightSolve struct {
-	done chan struct{}
-	res  *thermal.Result
-	err  error
+type selection struct {
+	ev  backend.Evaluator
+	bnd *evalcache.Binding
 }
-
-// defaultCacheCapacity is the per-generation entry bound; two generations
-// give the same ~16k-point footprint as the historical single map.
-const defaultCacheCapacity = 1 << 13
 
 // CacheStats counts evaluation-cache traffic; totals are cumulative for
-// the System's lifetime.
-type CacheStats struct {
-	// Hits were served from a completed cached solve.
-	Hits int64
-	// Waits were coalesced onto another caller's in-flight solve — each
-	// one is a thermal solve that the old cache would have duplicated.
-	Waits int64
-	// Misses are underlying model solves started (one per unique key).
-	Misses int64
-	// Rotations counts generation rotations (bounded evictions).
-	Rotations int64
-}
+// the System's lifetime, across the scalar and zoned paths and every
+// selected backend.
+type CacheStats = evalcache.Stats
 
-// NewSystem wraps a thermal model.
-func NewSystem(model *thermal.Model) *System {
-	return &System{
-		model:    model,
-		cur:      make(map[opKey]*thermal.Result),
-		inflight: make(map[opKey]*inflightSolve),
-		capacity: defaultCacheCapacity,
+// NewSystem wraps a thermal backend (see backend.FromModel / backend.New).
+func NewSystem(ev backend.Evaluator) *System { return newSystemCap(ev, 0) }
+
+// newSystemCap is NewSystem with an explicit per-generation cache
+// capacity; zero selects the default. Tests use small capacities to
+// exercise eviction.
+func newSystemCap(ev backend.Evaluator, capacity int) *System {
+	s := &System{
+		ev:         ev,
+		cache:      evalcache.New(capacity),
+		selections: map[string]selection{},
 	}
+	s.cache.SetSolveHook(func(op backend.OpPoint) {
+		if h := s.solveHook; h != nil && op.K() == 1 {
+			h(op.Omega, op.Currents[0])
+		}
+	})
+	s.scalar = s.cache.Bind(ev)
+	return s
 }
 
-// Model returns the underlying thermal model.
-func (s *System) Model() *thermal.Model { return s.model }
+// Backend returns the evaluator the system was built on.
+func (s *System) Backend() backend.Evaluator { return s.ev }
+
+// Config returns the thermal configuration under optimization.
+func (s *System) Config() thermal.Config { return s.ev.Config() }
 
 // CacheStats returns a snapshot of the evaluation-cache counters.
-func (s *System) CacheStats() CacheStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
+func (s *System) CacheStats() CacheStats { return s.cache.Stats() }
 
-// Evaluate returns the (cached) steady state at an operating point, using
-// the linearized-leakage solve the optimizers work with. Concurrent
-// callers requesting the same quantized point share one solve.
+// Evaluate returns the (cached) steady state at a scalar operating point,
+// using the system's default backend. Concurrent callers requesting the
+// same quantized point share one solve.
 func (s *System) Evaluate(omega, itec float64) (*thermal.Result, error) {
 	return s.EvaluateWarm(omega, itec, nil)
 }
 
 // EvaluateWarm is Evaluate with an optional warm-start temperature field
-// (length Model.NumNodes), typically the T of a neighboring operating
-// point. The hint only steers the iterative solver on a genuine cache
-// miss — hits and coalesced waits return the already-solved result and
-// ignore it — so the answer for a given point is the same either way; the
-// hint merely makes the cold solve cheaper. The warm slice is read, never
+// (length NumNodes), typically the T of a neighboring operating point.
+// The hint only steers the iterative solver on a genuine cache miss —
+// hits and coalesced waits return the already-solved result and ignore it
+// — so the answer for a given point is the same either way; the hint
+// merely makes the cold solve cheaper. The warm slice is read, never
 // written.
 func (s *System) EvaluateWarm(omega, itec float64, warm []float64) (*thermal.Result, error) {
-	key := opKey{quantize(omega), quantize(itec)}
-	s.mu.Lock()
-	if r, ok := s.lookupLocked(key); ok {
-		s.stats.Hits++
-		s.mu.Unlock()
-		return r, nil
-	}
-	if fl, ok := s.inflight[key]; ok {
-		s.stats.Waits++
-		s.mu.Unlock()
-		<-fl.done
-		return fl.res, fl.err
-	}
-	fl := &inflightSolve{done: make(chan struct{})}
-	s.inflight[key] = fl
-	s.stats.Misses++
-	hook := s.solveHook
-	s.mu.Unlock()
-
-	if hook != nil {
-		hook(omega, itec)
-	}
-	fl.res, fl.err = s.model.EvaluateWarm(omega, itec, warm)
-
-	s.mu.Lock()
-	delete(s.inflight, key)
-	if fl.err == nil {
-		s.storeLocked(key, fl.res)
-	}
-	s.mu.Unlock()
-	close(fl.done)
-	return fl.res, fl.err
+	return s.scalar.Evaluate(context.Background(), backend.Scalar(omega, itec), warm)
 }
 
-// lookupLocked checks both generations, promoting old-generation hits
-// into the current one so the hot working set survives the next rotation.
-func (s *System) lookupLocked(key opKey) (*thermal.Result, bool) {
-	if r, ok := s.cur[key]; ok {
-		return r, true
+// binding resolves an Options.Backend name to a cached evaluator: the
+// empty name (or the system's own backend name) is the system's default;
+// anything else goes through the backend's Selector capability, memoized
+// so repeated runs share one cache space per backend.
+func (s *System) binding(name string) (selection, error) {
+	if name == "" || name == s.ev.Name() {
+		return selection{ev: s.ev, bnd: s.scalar}, nil
 	}
-	if r, ok := s.old[key]; ok {
-		delete(s.old, key)
-		s.storeLocked(key, r)
-		return r, true
+	s.selMu.Lock()
+	defer s.selMu.Unlock()
+	if sel, ok := s.selections[name]; ok {
+		return sel, nil
 	}
-	return nil, false
+	selector, ok := s.ev.(backend.Selector)
+	if !ok {
+		return selection{}, fmt.Errorf("core: backend %q cannot select %q", s.ev.Name(), name)
+	}
+	ev, err := selector.Select(name)
+	if err != nil {
+		return selection{}, err
+	}
+	sel := selection{ev: ev, bnd: s.cache.Bind(ev)}
+	s.selections[name] = sel
+	return sel, nil
 }
 
-// storeLocked inserts into the current generation, rotating when full:
-// the previous generation is kept readable, so an eviction discards at
-// most the stale half of the working set.
-func (s *System) storeLocked(key opKey, r *thermal.Result) {
-	if len(s.cur) >= s.capacity {
-		s.old = s.cur
-		s.cur = make(map[opKey]*thermal.Result, len(s.old))
-		s.stats.Rotations++
+// vecEval abstracts the steady-state evaluation of a decision vector
+// x = (ω, I_1..I_k) so runVector can swap the plain cached path for a
+// warm-start carry (Options.WarmStart).
+type vecEval func(x []float64) (*thermal.Result, error)
+
+// bindingEval evaluates through the shared cache with no warm hint.
+func bindingEval(bnd *evalcache.Binding) vecEval {
+	return func(x []float64) (*thermal.Result, error) {
+		return bnd.Evaluate(context.Background(), backend.OpPoint{Omega: x[0], Currents: x[1:]}, nil)
 	}
-	s.cur[key] = r
 }
-
-// quantize rounds an operating coordinate so cache keys are insensitive to
-// last-bit noise from the line searches.
-func quantize(v float64) float64 { return math.Round(v*1e9) / 1e9 }
-
-// evalFunc abstracts the steady-state evaluation so Run can swap the
-// plain cached path for a warm-start carry (Options.WarmStart).
-type evalFunc func(omega, itec float64) (*thermal.Result, error)
 
 // maxTempObj is the 𝒯 objective; runaway maps to the Infeasible sentinel.
-func maxTempObj(eval evalFunc, omega, itec float64) float64 {
-	r, err := eval(omega, itec)
+func maxTempObj(eval vecEval, x []float64) float64 {
+	r, err := eval(x)
 	if err != nil || r.Runaway {
 		return solver.Infeasible
 	}
@@ -306,22 +274,22 @@ func maxTempObj(eval evalFunc, omega, itec float64) float64 {
 }
 
 // coolingPowerObj is the 𝒫 objective.
-func coolingPowerObj(eval evalFunc, omega, itec float64) float64 {
-	r, err := eval(omega, itec)
+func coolingPowerObj(eval vecEval, x []float64) float64 {
+	r, err := eval(x)
 	if err != nil || r.Runaway {
 		return solver.Infeasible
 	}
 	return r.CoolingPower()
 }
 
-// maxTemp is the 𝒯 objective on the plain cached path.
+// maxTemp is the scalar 𝒯 objective on the plain cached path.
 func (s *System) maxTemp(omega, itec float64) float64 {
-	return maxTempObj(s.Evaluate, omega, itec)
+	return maxTempObj(bindingEval(s.scalar), []float64{omega, itec})
 }
 
-// coolingPower is the 𝒫 objective on the plain cached path.
+// coolingPower is the scalar 𝒫 objective on the plain cached path.
 func (s *System) coolingPower(omega, itec float64) float64 {
-	return coolingPowerObj(s.Evaluate, omega, itec)
+	return coolingPowerObj(bindingEval(s.scalar), []float64{omega, itec})
 }
 
 // warmCarry hands each solve the previous converged temperature field as
@@ -332,19 +300,19 @@ func (s *System) coolingPower(omega, itec float64) float64 {
 // only, so racing updates change which hint the next cold solve starts
 // from, never the converged result beyond solver tolerance.
 type warmCarry struct {
-	sys *System
+	bnd *evalcache.Binding
 
 	mu sync.Mutex
 	t  []float64
 }
 
-func (w *warmCarry) evaluate(omega, itec float64) (*thermal.Result, error) {
+func (w *warmCarry) evaluate(x []float64) (*thermal.Result, error) {
 	w.mu.Lock()
 	warm := w.t
 	w.mu.Unlock()
-	res, err := w.sys.EvaluateWarm(omega, itec, warm)
+	res, err := w.bnd.Evaluate(context.Background(), backend.OpPoint{Omega: x[0], Currents: x[1:]}, warm)
 	if err == nil && !res.Runaway && res.T != nil {
-		// Result fields are shared and immutable; EvaluateWarm only reads
+		// Result fields are shared and immutable; the backend only reads
 		// the hint, so carrying the slice forward is safe.
 		w.mu.Lock()
 		w.t = res.T
@@ -353,22 +321,36 @@ func (w *warmCarry) evaluate(omega, itec float64) (*thermal.Result, error) {
 	return res, err
 }
 
-// bounds returns the decision-variable box for a mode; x = (ω, I_TEC).
-func (s *System) bounds(mode Mode, fixedOmega float64) (lower, upper []float64, err error) {
-	cfg := s.model.Config()
+// bounds returns the decision-variable box for a mode over k control
+// zones; x = (ω, I_1..I_k). Every zone shares the mode's current limits —
+// a mode restricts actuators, not the zone layout.
+func (s *System) bounds(mode Mode, fixedOmega float64, k int) (lower, upper []float64, err error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("core: bounds need at least one control zone, got %d", k)
+	}
+	cfg := s.ev.Config()
+	lower = make([]float64, 1+k)
+	upper = make([]float64, 1+k)
+	setCurrents := func(limit float64) {
+		for i := 1; i <= k; i++ {
+			upper[i] = limit
+		}
+	}
 	switch mode {
 	case ModeHybrid:
-		return []float64{0, 0}, []float64{cfg.Fan.OmegaMax, cfg.TEC.MaxCurrent}, nil
+		upper[0] = cfg.Fan.OmegaMax
+		setCurrents(cfg.TEC.MaxCurrent)
 	case ModeVariableFan:
-		return []float64{0, 0}, []float64{cfg.Fan.OmegaMax, 0}, nil
+		upper[0] = cfg.Fan.OmegaMax
 	case ModeFixedFan:
 		if fixedOmega < 0 || fixedOmega > cfg.Fan.OmegaMax {
 			return nil, nil, fmt.Errorf("core: fixed fan speed %g outside [0, %g]", fixedOmega, cfg.Fan.OmegaMax)
 		}
-		return []float64{fixedOmega, 0}, []float64{fixedOmega, 0}, nil
+		lower[0], upper[0] = fixedOmega, fixedOmega
 	case ModeTECOnly:
-		return []float64{0, 0}, []float64{0, cfg.TEC.MaxCurrent}, nil
+		setCurrents(cfg.TEC.MaxCurrent)
 	default:
 		return nil, nil, fmt.Errorf("core: unknown mode %d", int(mode))
 	}
+	return lower, upper, nil
 }

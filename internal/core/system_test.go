@@ -75,13 +75,13 @@ func TestEvaluateSingleflight(t *testing.T) {
 // full-map wipe: under sustained distinct-key pressure that forces many
 // rotations, a key touched regularly must stay cached (one solve, ever).
 func TestHotKeySurvivesEviction(t *testing.T) {
-	s := benchSystem(t, "CRC32")
-	s.capacity = 3 // tiny generations so a few dozen solves force rotations
+	// Tiny generations so a few dozen solves force rotations.
+	s := benchSystemCap(t, "CRC32", 3)
 
 	const hotOmega, hotITEC = 200.0, 1.0
 	var hotSolves atomic.Int64
 	s.solveHook = func(omega, itec float64) {
-		if quantize(omega) == quantize(hotOmega) && quantize(itec) == quantize(hotITEC) {
+		if omega == hotOmega && itec == hotITEC {
 			hotSolves.Add(1)
 		}
 	}
@@ -105,8 +105,8 @@ func TestHotKeySurvivesEviction(t *testing.T) {
 	if n := hotSolves.Load(); n != 1 {
 		t.Errorf("hot key was re-solved %d times under eviction pressure, want 1", n)
 	}
-	if total := len(s.cur) + len(s.old); total > 2*s.capacity {
-		t.Errorf("cache holds %d entries, bound is %d", total, 2*s.capacity)
+	if total := s.cache.Len(); total > 2*s.cache.Capacity() {
+		t.Errorf("cache holds %d entries, bound is %d", total, 2*s.cache.Capacity())
 	}
 }
 
@@ -116,8 +116,7 @@ func TestHotKeySurvivesEviction(t *testing.T) {
 // sweep. Run under -race this exercises every lock transition; the
 // results must still match a fresh serial system exactly.
 func TestEvaluateMixedTrafficStress(t *testing.T) {
-	s := benchSystem(t, "CRC32")
-	s.capacity = 4
+	s := benchSystemCap(t, "CRC32", 4)
 	// The thermal layer memoizes repeated operating points, which makes
 	// cache misses orders of magnitude faster than a real cold solve; on a
 	// single CPU a worker then churns the whole small cache within one

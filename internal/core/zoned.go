@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
+	"oftec/internal/backend"
 	"oftec/internal/floorplan"
 	"oftec/internal/solver"
 	"oftec/internal/thermal"
@@ -16,10 +16,19 @@ import (
 type ZonedOutcome struct {
 	Omega    float64
 	Currents []float64
+	// Result is the steady state at the operating point, certified by the
+	// authoritative end of the backend chain.
 	Result   *thermal.Result
 	Feasible bool
-	Runtime  time.Duration
-	Report   solver.Report
+	// FailedAtOpt2 marks Algorithm 1's "Return failed" branch: even the
+	// minimized peak temperature exceeds T_max.
+	FailedAtOpt2 bool
+	// MinMaxTemp is the 𝒯 achieved by the feasibility phase.
+	MinMaxTemp float64
+	Runtime    time.Duration
+	// Report and Opt2Report expose the raw solver reports of the power
+	// and feasibility phases.
+	Report, Opt2Report solver.Report
 }
 
 // CoolingPower returns 𝒫 at the chosen operating point.
@@ -41,127 +50,47 @@ func (o *ZonedOutcome) String() string {
 		o.Runtime.Round(time.Millisecond))
 }
 
-// zonedSystem caches zoned evaluations (one solve per operating vector).
-type zonedSystem struct {
-	model  *thermal.Model
-	zoning *thermal.Zoning
-
-	mu    sync.Mutex
-	cache map[string]*thermal.Result
-}
-
-func (zs *zonedSystem) evaluate(x []float64) (*thermal.Result, error) {
-	key := fmt.Sprintf("%.9g", x)
-	zs.mu.Lock()
-	if r, ok := zs.cache[key]; ok {
-		zs.mu.Unlock()
-		return r, nil
-	}
-	zs.mu.Unlock()
-	r, err := zs.model.EvaluateZoned(x[0], zs.zoning, x[1:])
-	if err != nil {
-		return nil, err
-	}
-	zs.mu.Lock()
-	if len(zs.cache) > 1<<14 {
-		zs.cache = make(map[string]*thermal.Result)
-	}
-	zs.cache[key] = r
-	zs.mu.Unlock()
-	return r, nil
-}
-
 // RunZoned executes Algorithm 1 with the decision vector (ω, I_1..I_k):
 // the feasibility phase minimizes the peak temperature, then the power
 // phase minimizes 𝒫 under the thermal constraint. It is the "deployment
 // and control" generalization: the single series string of the paper is
-// the k = 1 special case, so any zoned optimum is at least as good.
+// the k = 1 special case (bit-identical to Run — the backend routes a
+// one-zone point onto the scalar path), so any zoned optimum is at least
+// as good. The run shares the scalar path's machinery: modes, solver
+// fallback, multistart, warm starts, and the System's evaluation cache
+// (in a zone-keyed space of its own).
 func (s *System) RunZoned(zoning *thermal.Zoning, opts Options) (*ZonedOutcome, error) {
 	start := time.Now()
 	if zoning == nil {
 		return nil, fmt.Errorf("core: RunZoned needs a zoning")
 	}
-	cfg := s.model.Config()
-	k := zoning.NumZones()
-
-	zs := &zonedSystem{model: s.model, zoning: zoning, cache: make(map[string]*thermal.Result)}
-	tMaxSolve := opts.tMax(cfg) - opts.margin()
-
-	obj := func(f func(r *thermal.Result) float64) solver.Func {
-		return func(x []float64) float64 {
-			r, err := zs.evaluate(x)
-			if err != nil || r.Runaway {
-				return solver.Infeasible
-			}
-			return f(r)
-		}
-	}
-	tempObj := obj(func(r *thermal.Result) float64 { return r.MaxChipTemp })
-	powerObj := obj(func(r *thermal.Result) float64 { return r.CoolingPower() })
-	tempCons := func(x []float64) float64 { return tempObj(x) - tMaxSolve }
-
-	lower := make([]float64, 1+k)
-	upper := make([]float64, 1+k)
-	upper[0] = cfg.Fan.OmegaMax
-	for i := 1; i <= k; i++ {
-		upper[i] = cfg.TEC.MaxCurrent
-	}
-	x0 := make([]float64, 1+k)
-	for i := range x0 {
-		x0[i] = upper[i] / 2
-	}
-
-	out := &ZonedOutcome{}
-	// Feasibility phase.
-	x1 := x0
-	if t := tempObj(x0); t > tMaxSolve {
-		p2 := &solver.Problem{F: tempObj, Lower: lower, Upper: upper}
-		o2 := opts.Solver
-		prev := opts.Solver.StopWhen
-		o2.StopWhen = func(x []float64, f float64) bool {
-			if f < tMaxSolve {
-				return true
-			}
-			return prev != nil && prev(x, f)
-		}
-		rep, err := opts.Method.run(p2, x0, o2)
-		if err != nil {
-			return nil, fmt.Errorf("core: zoned optimization 2 failed: %w", err)
-		}
-		x1 = rep.X
-		if rep.F > tMaxSolve {
-			out.Omega = x1[0]
-			out.Currents = append([]float64(nil), x1[1:]...)
-			res, rerr := zs.evaluate(x1)
-			if rerr != nil {
-				return nil, rerr
-			}
-			out.Result = res
-			out.Runtime = time.Since(start)
-			return out, nil
-		}
-	}
-
-	// Power phase.
-	p1 := &solver.Problem{F: powerObj, Cons: []solver.Func{tempCons}, Lower: lower, Upper: upper}
-	rep, err := opts.Method.run(p1, x1, opts.Solver)
-	if err != nil {
-		return nil, fmt.Errorf("core: zoned optimization 1 failed: %w", err)
-	}
-	out.Report = rep
-	x := x1
-	if rep.Feasible(1e-6) {
-		x = rep.X
-	}
-	out.Omega = x[0]
-	out.Currents = append([]float64(nil), x[1:]...)
-	res, err := zs.evaluate(x)
+	sel, err := s.binding(opts.Backend)
 	if err != nil {
 		return nil, err
 	}
-	out.Result = res
-	out.Feasible = res.MeetsConstraint(opts.tMax(cfg))
-	out.Runtime = time.Since(start)
+	zoner, ok := sel.ev.(backend.Zoner)
+	if !ok {
+		return nil, fmt.Errorf("core: backend %q cannot evaluate zoned operating points", sel.ev.Name())
+	}
+	zev, err := zoner.WithZoning(zoning)
+	if err != nil {
+		return nil, err
+	}
+	v, err := s.runVector(s.cache.Bind(zev), zoning.NumZones(), opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &ZonedOutcome{
+		Omega:        v.x[0],
+		Currents:     append([]float64(nil), v.x[1:]...),
+		Result:       v.result,
+		Feasible:     v.feasible,
+		FailedAtOpt2: v.failedAtOpt2,
+		MinMaxTemp:   v.minMaxTemp,
+		Report:       v.opt1,
+		Opt2Report:   v.opt2,
+		Runtime:      time.Since(start),
+	}
 	return out, nil
 }
 

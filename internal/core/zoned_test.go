@@ -7,7 +7,7 @@ import (
 
 func TestZoningValidation(t *testing.T) {
 	s := benchSystem(t, "CRC32")
-	m := s.Model()
+	m := testModelOf(t, s)
 
 	assign, n := ClusterZones()
 	if _, err := m.NewZoning(assign, n); err != nil {
@@ -54,7 +54,7 @@ func TestZonedUniformMatchesScalarPath(t *testing.T) {
 	// With every zone at the same current, the zoned solve must agree with
 	// the scalar evaluation exactly.
 	s := benchSystem(t, "FFT")
-	m := s.Model()
+	m := testModelOf(t, s)
 	assign, n := ClusterZones()
 	z, err := m.NewZoning(assign, n)
 	if err != nil {
@@ -79,7 +79,7 @@ func TestZonedUniformMatchesScalarPath(t *testing.T) {
 
 func TestZonedEvaluateValidation(t *testing.T) {
 	s := benchSystem(t, "CRC32")
-	m := s.Model()
+	m := testModelOf(t, s)
 	assign, n := ClusterZones()
 	z, err := m.NewZoning(assign, n)
 	if err != nil {
@@ -110,7 +110,7 @@ func TestZonedControlBeatsUniform(t *testing.T) {
 	}
 
 	assign, n := ClusterZones()
-	z, err := s.Model().NewZoning(assign, n)
+	z, err := testModelOf(t, s).NewZoning(assign, n)
 	if err != nil {
 		t.Fatal(err)
 	}

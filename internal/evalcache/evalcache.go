@@ -1,0 +1,250 @@
+// Package evalcache is the shared steady-state evaluation cache that sits
+// in front of any backend.Evaluator. It was extracted from the optimizer's
+// System so the scalar and zoned optimization paths (and anything else
+// that hammers a backend with near-duplicate operating points) share one
+// bounded cache with one set of traffic statistics.
+//
+// Two properties carry over from the original in-System cache and are
+// load-bearing for the optimizer:
+//
+//   - Singleflight: concurrent misses on the same quantized key coalesce
+//     onto a single in-flight solve; every waiter gets the leader's result.
+//   - Two-generation eviction: inserts go to the current generation; when
+//     it fills, the previous generation is discarded and the current one
+//     becomes the previous — still readable, with hits promoted back into
+//     the current generation. An eviction therefore drops at most the
+//     stale half of the working set, never a hot incumbent
+//     mid-optimization.
+//
+// A Cache is shared between evaluators through Bindings: Bind assigns the
+// evaluator a private key space inside the common map, so a scalar and a
+// zoned binding (or two different backends) never alias each other's
+// entries while still sharing capacity, eviction pressure, and stats.
+package evalcache
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"oftec/internal/backend"
+	"oftec/internal/thermal"
+)
+
+// DefaultCapacity is the per-generation entry bound; two generations give
+// a ~16k-point footprint.
+const DefaultCapacity = 1 << 13
+
+// maxInlineK is the largest zone count that fits the comparable cache
+// key. Operating points with more zones bypass the cache entirely — the
+// zoned optimizer tops out far below this.
+const maxInlineK = 8
+
+// Stats counts cache traffic; totals are cumulative for the Cache's
+// lifetime, across all bindings.
+type Stats struct {
+	// Hits were served from a completed cached solve.
+	Hits int64
+	// Waits were coalesced onto another caller's in-flight solve — each
+	// one is a backend solve that an unshared cache would have duplicated.
+	Waits int64
+	// Misses are underlying backend solves started (one per unique key).
+	Misses int64
+	// Rotations counts generation rotations (bounded evictions).
+	Rotations int64
+}
+
+// key identifies one quantized operating point inside one binding's key
+// space. Currents are inlined into a fixed array so the key stays
+// comparable; k disambiguates a scalar point from a zoned point whose
+// trailing zones happen to be zero.
+type key struct {
+	space uint64
+	k     int
+	omega float64
+	cur   [maxInlineK]float64
+}
+
+// inflight is the rendezvous for callers coalesced onto one solve: the
+// leader closes done after filling res/err.
+type inflight struct {
+	done chan struct{}
+	res  *thermal.Result
+	err  error
+}
+
+// Cache is a bounded, concurrency-safe evaluation cache shared by any
+// number of Bindings. The zero value is not usable; call New.
+type Cache struct {
+	mu        sync.Mutex
+	cur, old  map[key]*thermal.Result
+	infl      map[key]*inflight
+	capacity  int
+	stats     Stats
+	nextSpace uint64
+
+	// hook, when non-nil, runs immediately before each underlying
+	// backend Evaluate — i.e. exactly once per deduplicated miss.
+	// Test instrumentation only.
+	hook func(op backend.OpPoint)
+}
+
+// New builds a cache whose generations hold up to capacity entries each;
+// capacity ≤ 0 selects DefaultCapacity.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		cur:      make(map[key]*thermal.Result),
+		infl:     make(map[key]*inflight),
+		capacity: capacity,
+	}
+}
+
+// SetSolveHook installs a function invoked once per deduplicated miss,
+// outside the cache lock, immediately before the underlying solve. Test
+// instrumentation only; not safe to call concurrently with Evaluate.
+func (c *Cache) SetSolveHook(hook func(op backend.OpPoint)) { c.hook = hook }
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of cached results across both generations.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cur) + len(c.old)
+}
+
+// Capacity returns the per-generation entry bound (total footprint is at
+// most twice this).
+func (c *Cache) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacity
+}
+
+// Binding is one evaluator's view of a shared Cache. Bindings satisfy
+// backend.Evaluator (and backend.Fallthrough, so Authoritative and
+// ModelOf resolve through the cache to the real backend).
+type Binding struct {
+	c     *Cache
+	ev    backend.Evaluator
+	space uint64
+}
+
+// Bind gives ev a private key space in the cache and returns the caching
+// evaluator wrapping it.
+func (c *Cache) Bind(ev backend.Evaluator) *Binding {
+	c.mu.Lock()
+	c.nextSpace++
+	space := c.nextSpace
+	c.mu.Unlock()
+	return &Binding{c: c, ev: ev, space: space}
+}
+
+// Name identifies the wrapped backend.
+func (b *Binding) Name() string { return b.ev.Name() }
+
+// Config returns the wrapped backend's configuration.
+func (b *Binding) Config() thermal.Config { return b.ev.Config() }
+
+// Fallthrough exposes the wrapped backend so fall-through chain walks see
+// through the cache.
+func (b *Binding) Fallthrough() backend.Evaluator { return b.ev }
+
+// Evaluate returns the (cached) steady state at op. Concurrent callers
+// requesting the same quantized point share one solve; the optional warm
+// temperature-field hint only steers a genuine miss — hits and coalesced
+// waits return the already-solved result and ignore it. Waiters honor ctx
+// cancellation (the leader's solve continues for the others); a nil ctx
+// waits unconditionally.
+func (b *Binding) Evaluate(ctx context.Context, op backend.OpPoint, warm []float64) (*thermal.Result, error) {
+	k := op.K()
+	if k == 0 || k > maxInlineK {
+		// Uncacheable shapes pass straight through (validation included):
+		// k=0 is invalid and k>8 doesn't fit the comparable key.
+		return b.ev.Evaluate(ctx, op, warm)
+	}
+	ck := key{space: b.space, k: k, omega: quantize(op.Omega)}
+	for i, v := range op.Currents {
+		ck.cur[i] = quantize(v)
+	}
+
+	c := b.c
+	c.mu.Lock()
+	if r, ok := c.lookupLocked(ck); ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		return r, nil
+	}
+	if fl, ok := c.infl[ck]; ok {
+		c.stats.Waits++
+		c.mu.Unlock()
+		if ctx == nil {
+			<-fl.done
+			return fl.res, fl.err
+		}
+		select {
+		case <-fl.done:
+			return fl.res, fl.err
+		case <-ctx.Done():
+			return nil, fmt.Errorf("evalcache: wait for in-flight solve: %w", ctx.Err())
+		}
+	}
+	fl := &inflight{done: make(chan struct{})}
+	c.infl[ck] = fl
+	c.stats.Misses++
+	hook := c.hook
+	c.mu.Unlock()
+
+	if hook != nil {
+		hook(op)
+	}
+	fl.res, fl.err = b.ev.Evaluate(ctx, op, warm)
+
+	c.mu.Lock()
+	delete(c.infl, ck)
+	if fl.err == nil {
+		c.storeLocked(ck, fl.res)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.res, fl.err
+}
+
+// lookupLocked checks both generations, promoting old-generation hits
+// into the current one so the hot working set survives the next rotation.
+func (c *Cache) lookupLocked(ck key) (*thermal.Result, bool) {
+	if r, ok := c.cur[ck]; ok {
+		return r, true
+	}
+	if r, ok := c.old[ck]; ok {
+		delete(c.old, ck)
+		c.storeLocked(ck, r)
+		return r, true
+	}
+	return nil, false
+}
+
+// storeLocked inserts into the current generation, rotating when full:
+// the previous generation is kept readable, so an eviction discards at
+// most the stale half of the working set.
+func (c *Cache) storeLocked(ck key, r *thermal.Result) {
+	if len(c.cur) >= c.capacity {
+		c.old = c.cur
+		c.cur = make(map[key]*thermal.Result, len(c.old))
+		c.stats.Rotations++
+	}
+	c.cur[ck] = r
+}
+
+// quantize rounds an operating coordinate so cache keys are insensitive
+// to last-bit noise from the line searches.
+func quantize(v float64) float64 { return math.Round(v*1e9) / 1e9 }

@@ -1,0 +1,325 @@
+package evalcache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oftec/internal/backend"
+	"oftec/internal/thermal"
+	"oftec/internal/workload"
+)
+
+// fakeEval is a deterministic backend stub: the "solve" encodes the
+// operating point into MaxChipTemp so tests can check result identity
+// without building a thermal model.
+type fakeEval struct {
+	solves atomic.Int64
+	block  chan struct{} // when non-nil, Evaluate parks until closed
+}
+
+func (f *fakeEval) Name() string           { return "fake" }
+func (f *fakeEval) Config() thermal.Config { return thermal.Config{} }
+
+func (f *fakeEval) Evaluate(_ context.Context, op backend.OpPoint, _ []float64) (*thermal.Result, error) {
+	f.solves.Add(1)
+	if f.block != nil {
+		<-f.block
+	}
+	t := op.Omega
+	for _, c := range op.Currents {
+		t = 10*t + c
+	}
+	return &thermal.Result{Omega: op.Omega, MaxChipTemp: t}, nil
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	fake := &fakeEval{block: make(chan struct{})}
+	c := New(0)
+	b := c.Bind(fake)
+
+	var launched sync.WaitGroup
+	var done sync.WaitGroup
+	const workers = 16
+	results := make([]*thermal.Result, workers)
+	launched.Add(1)
+	done.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			defer done.Done()
+			if i == 0 {
+				// The leader registers the in-flight solve and parks in the
+				// fake; release the waiters only once it is committed.
+				launched.Done()
+			} else {
+				launched.Wait()
+				// Give the leader time to take the inflight slot; waiters
+				// arriving before it would just become their own leaders,
+				// which the solve count below would catch.
+				time.Sleep(2 * time.Millisecond)
+			}
+			r, err := b.Evaluate(context.Background(), backend.Scalar(250, 1.5), nil)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = r
+		}(i)
+	}
+	launched.Wait()
+	time.Sleep(10 * time.Millisecond)
+	close(fake.block)
+	done.Wait()
+
+	if n := fake.solves.Load(); n != 1 {
+		t.Fatalf("coalesced miss ran %d solves, want 1", n)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("worker %d got a different result pointer", i)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits+s.Waits != workers-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d hits+waits", s, workers-1)
+	}
+}
+
+// TestIncumbentSurvivesEviction is the regression test for the zoned
+// cache's historical wipe-everything eviction: a key re-touched between
+// rotations must stay cached across any number of rotations, scalar or
+// zoned.
+func TestIncumbentSurvivesEviction(t *testing.T) {
+	for _, k := range []int{1, 4} {
+		fake := &fakeEval{}
+		c := New(3)
+		b := c.Bind(fake)
+		ctx := context.Background()
+
+		hot := backend.OpPoint{Omega: 100, Currents: make([]float64, k)}
+		for i := range hot.Currents {
+			hot.Currents[i] = 0.5 + 0.1*float64(i)
+		}
+		first, err := b.Evaluate(ctx, hot, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Churn enough distinct points to rotate several times, touching
+		// the incumbent between batches the way an optimizer's line
+		// searches keep re-testing the best-so-far point. Each batch stays
+		// within capacity so at most one rotation happens between touches —
+		// the survival guarantee the two-generation scheme makes.
+		for batch := 0; batch < 6; batch++ {
+			for i := 0; i < 3; i++ {
+				cold := backend.OpPoint{Omega: 200 + float64(8*batch+i), Currents: make([]float64, k)}
+				if _, err := b.Evaluate(ctx, cold, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			again, err := b.Evaluate(ctx, hot, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != first {
+				t.Fatalf("k=%d: incumbent was evicted and re-solved in batch %d", k, batch)
+			}
+		}
+
+		s := c.Stats()
+		if s.Rotations < 3 {
+			t.Errorf("k=%d: churn caused only %d rotations, want ≥ 3", k, s.Rotations)
+		}
+		if c.Len() > 2*c.Capacity() {
+			t.Errorf("k=%d: cache holds %d entries, capacity bound is %d", k, c.Len(), 2*c.Capacity())
+		}
+	}
+}
+
+// TestBindingsDoNotAlias pins the key-space isolation: two bindings with
+// coincident operating points must not serve each other's results, even
+// when a scalar point and a 1-zone point have equal coordinates.
+func TestBindingsDoNotAlias(t *testing.T) {
+	ctx := context.Background()
+	c := New(0)
+	a := c.Bind(&fakeEval{})
+	b := c.Bind(&fakeEval{})
+
+	op := backend.Scalar(300, 2)
+	ra, err := a.Evaluate(ctx, op, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Evaluate(ctx, op, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra == rb {
+		t.Error("two bindings shared one cache entry for the same coordinates")
+	}
+	if s := c.Stats(); s.Misses != 2 || s.Hits != 0 {
+		t.Errorf("stats = %+v, want two independent misses", s)
+	}
+}
+
+func TestQuantizedHitsAndStats(t *testing.T) {
+	fake := &fakeEval{}
+	c := New(0)
+	b := c.Bind(fake)
+	ctx := context.Background()
+
+	r1, _ := b.Evaluate(ctx, backend.Scalar(100, 1), nil)
+	// Last-bit noise quantizes onto the same key.
+	r2, _ := b.Evaluate(ctx, backend.Scalar(100+1e-12, 1-1e-12), nil)
+	if r1 != r2 {
+		t.Error("quantization did not coalesce near-identical points")
+	}
+	b.Evaluate(ctx, backend.Scalar(100, 2), nil)
+
+	want := Stats{Hits: 1, Misses: 2}
+	if s := c.Stats(); s != want {
+		t.Errorf("stats = %+v, want %+v", s, want)
+	}
+	if n := fake.solves.Load(); n != 2 {
+		t.Errorf("backend solved %d times, want 2", n)
+	}
+}
+
+func TestOversizedPointsBypass(t *testing.T) {
+	fake := &fakeEval{}
+	c := New(0)
+	b := c.Bind(fake)
+	ctx := context.Background()
+
+	op := backend.OpPoint{Omega: 100, Currents: make([]float64, maxInlineK+1)}
+	b.Evaluate(ctx, op, nil)
+	b.Evaluate(ctx, op, nil)
+	if n := fake.solves.Load(); n != 2 {
+		t.Errorf("oversized point was cached (%d solves, want 2)", n)
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Errorf("bypass traffic leaked into stats: %+v", s)
+	}
+}
+
+func TestWaiterHonorsContext(t *testing.T) {
+	fake := &fakeEval{block: make(chan struct{})}
+	c := New(0)
+	b := c.Bind(fake)
+
+	leaderIn := make(chan struct{})
+	go func() {
+		close(leaderIn)
+		b.Evaluate(context.Background(), backend.Scalar(1, 1), nil)
+	}()
+	<-leaderIn
+	time.Sleep(5 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := b.Evaluate(ctx, backend.Scalar(1, 1), nil)
+	if err == nil {
+		t.Fatal("cancelled waiter returned without error")
+	}
+	close(fake.block)
+}
+
+// TestMixedTrafficSharedCache drives scalar and zoned bindings over one
+// real full backend and one shared cache from many goroutines; run under
+// -race it is the concurrency gate for the shared-cache refactor.
+func TestMixedTrafficSharedCache(t *testing.T) {
+	cfg := thermal.DefaultConfig()
+	cfg.ChipRes = 8
+	cfg.SpreaderRes = 7
+	cfg.SinkRes = 6
+	cfg.PCBRes = 4
+	bench, err := workload.ByName("Basicmath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := bench.PowerMap(cfg.Floorplan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plant, err := backend.New("full", cfg, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := plant.(backend.Zoner)
+	assign := map[string]int{}
+	units := cfg.Floorplan.Units()
+	for i, u := range units {
+		assign[u.Name] = i % 2
+	}
+	z, err := full.NewZoning(assign, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zoned, err := full.WithZoning(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(16)
+	sb := c.Bind(plant)
+	zb := c.Bind(zoned)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				var err error
+				if (w+i)%2 == 0 {
+					omega := 200 + float64(i%5)*25
+					_, err = sb.Evaluate(ctx, backend.Scalar(omega, float64(w%3)), nil)
+				} else {
+					omega := 220 + float64(i%4)*30
+					cur := []float64{float64(w % 2), float64(i % 3)}
+					_, err = zb.Evaluate(ctx, backend.OpPoint{Omega: omega, Currents: cur}, nil)
+				}
+				if err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+
+	s := c.Stats()
+	if s.Misses == 0 || s.Hits == 0 {
+		t.Errorf("mixed traffic produced no cache reuse: %+v", s)
+	}
+	if s.Rotations == 0 {
+		t.Errorf("capacity 16 under %d distinct points never rotated: %+v", 15+12, s)
+	}
+
+	// Spot-check cached answers against a fresh uncached backend.
+	fresh, err := backend.New("full", cfg, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sb.Evaluate(ctx, backend.Scalar(250, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Evaluate(ctx, backend.Scalar(250, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxChipTemp != want.MaxChipTemp {
+		t.Errorf("cached MaxChipTemp %g != fresh %g", got.MaxChipTemp, want.MaxChipTemp)
+	}
+}

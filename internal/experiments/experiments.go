@@ -14,6 +14,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"oftec/internal/backend"
 	"oftec/internal/core"
 	"oftec/internal/parallel"
 	"oftec/internal/solver"
@@ -26,6 +27,9 @@ import (
 type Setup struct {
 	Config     thermal.Config
 	Benchmarks []workload.Benchmark
+	// Backend names the evaluation backend every experiment builds on
+	// ("full", "rom"); empty selects "full".
+	Backend string
 }
 
 // DefaultSetup reproduces the paper's configuration (Section 6.1) over the
@@ -45,17 +49,17 @@ func FastSetup() Setup {
 	return Setup{Config: cfg, Benchmarks: workload.All()}
 }
 
-// system builds the core system for one benchmark.
+// system builds the core system for one benchmark on the setup's backend.
 func (s Setup) system(bench workload.Benchmark) (*core.System, error) {
 	pm, err := bench.PowerMap(s.Config.Floorplan)
 	if err != nil {
 		return nil, err
 	}
-	m, err := thermal.NewModel(s.Config, pm)
+	ev, err := backend.New(s.Backend, s.Config, pm)
 	if err != nil {
 		return nil, err
 	}
-	return core.NewSystem(m), nil
+	return core.NewSystem(ev), nil
 }
 
 // System exposes the per-benchmark system construction for external

@@ -7,9 +7,9 @@ import (
 	"math"
 	"text/tabwriter"
 
+	"oftec/internal/backend"
 	"oftec/internal/core"
 	"oftec/internal/parallel"
-	"oftec/internal/thermal"
 	"oftec/internal/units"
 	"oftec/internal/workload"
 )
@@ -61,11 +61,11 @@ func SeebeckSensitivity(s Setup, benchName string, scales []float64) ([]Sensitiv
 		if err != nil {
 			return err
 		}
-		model, err := thermal.NewModel(cfg, pm)
+		ev, err := backend.New(s.Backend, cfg, pm)
 		if err != nil {
 			return err
 		}
-		out, err := core.NewSystem(model).Run(core.Options{Mode: core.ModeHybrid})
+		out, err := core.NewSystem(ev).Run(core.Options{Mode: core.ModeHybrid})
 		if err != nil {
 			return fmt.Errorf("experiments: sensitivity scale %g: %w", scale, err)
 		}
@@ -164,15 +164,22 @@ func CoverageStudy(s Setup, benchName string) ([]CoverageRow, error) {
 		if err != nil {
 			return err
 		}
-		model, err := thermal.NewModel(cfg, pm)
+		ev, err := backend.New(s.Backend, cfg, pm)
 		if err != nil {
 			return err
 		}
-		out, err := core.NewSystem(model).Run(core.Options{Mode: core.ModeHybrid})
+		out, err := core.NewSystem(ev).Run(core.Options{Mode: core.ModeHybrid})
 		if err != nil {
 			return fmt.Errorf("experiments: coverage %q: %w", d.name, err)
 		}
-		row := CoverageRow{Name: d.name, NumTEC: model.NumTEC(), Feasible: out.Feasible,
+		numTEC := 0
+		if m, ok := backend.ModelOf(ev); ok {
+			// Module counting is model-only reporting with no backend
+			// equivalent; the deployment study is about the model itself.
+			//lint:ignore backendleak deployment reporting reads the model's TEC count
+			numTEC = m.NumTEC()
+		}
+		row := CoverageRow{Name: d.name, NumTEC: numTEC, Feasible: out.Feasible,
 			PowerW: math.Inf(1), MaxTempC: math.Inf(1)}
 		if out.Result != nil && !out.Result.Runaway {
 			row.PowerW = out.Result.CoolingPower()

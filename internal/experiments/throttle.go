@@ -6,10 +6,10 @@ import (
 	"io"
 	"text/tabwriter"
 
+	"oftec/internal/backend"
 	"oftec/internal/core"
 	"oftec/internal/dvfs"
 	"oftec/internal/parallel"
-	"oftec/internal/thermal"
 	"oftec/internal/workload"
 )
 
@@ -62,14 +62,14 @@ func throttleOne(s Setup, model dvfs.Model, b workload.Benchmark) (ThrottleRow, 
 	if err != nil {
 		return ThrottleRow{}, err
 	}
-	thermalModel, err := thermal.NewModel(s.Config, base)
+	plant, err := backend.New(s.Backend, s.Config, base)
 	if err != nil {
 		return ThrottleRow{}, err
 	}
 	row := ThrottleRow{Benchmark: b.Name}
 
 	// OFTEC at full frequency.
-	oftec, err := core.NewSystem(thermalModel).Run(core.Options{Mode: core.ModeHybrid})
+	oftec, err := core.NewSystem(plant).Run(core.Options{Mode: core.ModeHybrid})
 	if err != nil {
 		return ThrottleRow{}, err
 	}
@@ -77,10 +77,10 @@ func throttleOne(s Setup, model dvfs.Model, b workload.Benchmark) (ThrottleRow, 
 
 	// Fan-only feasibility as a function of the DVFS point.
 	feasible := func(op dvfs.OperatingPoint) (bool, error) {
-		if err := thermalModel.SetDynamicPower(op.ScaleMap(base)); err != nil {
+		if err := plant.SetDynamicPower(op.ScaleMap(base)); err != nil {
 			return false, err
 		}
-		out, err := core.NewSystem(thermalModel).Run(core.Options{Mode: core.ModeVariableFan})
+		out, err := core.NewSystem(plant).Run(core.Options{Mode: core.ModeVariableFan})
 		if err != nil {
 			return false, err
 		}

@@ -213,6 +213,7 @@ func All() []*Analyzer {
 		UnitSuffixAnalyzer,
 		NonFiniteAnalyzer,
 		CtxLeakAnalyzer,
+		BackendLeakAnalyzer,
 	}
 }
 

@@ -118,8 +118,58 @@ func TestAllHaveDocs(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 6 {
-		t.Errorf("expected the 6 analyzers of the suite, got %d", len(seen))
+	if len(seen) != 7 {
+		t.Errorf("expected the 7 analyzers of the suite, got %d", len(seen))
+	}
+}
+
+// TestBackendLeakGolden exercises the backendleak analyzer against its
+// fixture, which is a miniature module (own go.mod, fake internal/thermal
+// and internal/backend packages) rather than a single directory: the
+// analyzer keys on cross-package type identity, so the fixture needs the
+// Model type defined in a package whose import path ends in
+// internal/thermal and referenced from one ending in internal/core.
+func TestBackendLeakGolden(t *testing.T) {
+	root := filepath.Join("testdata", "src", "backendleak")
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", root, err)
+	}
+	analyzers, err := ByName([]string{"backendleak"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, d := range Run(pkgs, analyzers) {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = filepath.ToSlash(rel)
+		}
+		lines = append(lines, d.String())
+	}
+	got := strings.Join(lines, "\n") + "\n"
+	goldenPath := filepath.Join("testdata", "backendleak.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/lint -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if strings.TrimSpace(got) == "" {
+		t.Error("fixture produced no diagnostics; positives are missing")
+	}
+	// The unscoped fixture packages (thermal, backend) reference Model
+	// throughout and must contribute nothing.
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "internal/core/") {
+			t.Errorf("diagnostic outside the scoped package: %s", l)
+		}
 	}
 }
 

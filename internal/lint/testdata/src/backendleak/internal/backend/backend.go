@@ -1,0 +1,15 @@
+// Package backend mirrors the evaluation seam. It is outside the
+// analyzer's scope, so its own Model references — the ModelOf escape
+// hatch — are the fixture's package-scoped negative case.
+package backend
+
+import "fixture/internal/thermal"
+
+type Evaluator interface {
+	Name() string
+	Config() thermal.Config
+}
+
+// ModelOf hands the fixture's core package a model value whose type is
+// inferred, never named — the leak only the selection rule can catch.
+func ModelOf(ev Evaluator) (*thermal.Model, bool) { return nil, false }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"oftec/internal/floorplan"
 	"oftec/internal/grid"
@@ -109,6 +110,12 @@ type Model struct {
 	// vector, CG work arrays) so concurrent Evaluate stays race-free
 	// without per-call allocation.
 	scratch sync.Pool
+
+	// dynGen counts SetDynamicPower calls. Derived evaluators that bake
+	// the dynamic power into precomputed state (the reduced-order model's
+	// projected RHS) compare generations to refresh lazily instead of
+	// registering callbacks.
+	dynGen atomic.Uint64
 }
 
 // verKey identifies the system-matrix content of one evaluation: the
@@ -439,6 +446,7 @@ func (m *Model) SetDynamicPower(dyn power.Map) error {
 		return err
 	}
 	m.dyn = cells
+	m.dynGen.Add(1)
 	if m.resMem != nil {
 		m.resMu.Lock()
 		m.resMem = make(map[uint64]*Result)

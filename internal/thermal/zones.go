@@ -75,6 +75,16 @@ func (m *Model) NewZoning(assign map[string]int, numZones int) (*Zoning, error) 
 // the maximum zone current; per-zone accounting is in the returned value's
 // PTEC as usual.
 func (m *Model) EvaluateZoned(omega float64, z *Zoning, currents []float64) (*Result, error) {
+	return m.EvaluateZonedWarm(omega, z, currents, nil)
+}
+
+// EvaluateZonedWarm is EvaluateZoned with a warm-start hint for the
+// iterative solver (same contract as EvaluateWarm: the hint steers the
+// solver, never the answer). A single-zone zoning drives every TEC with
+// one current, which is exactly the scalar operating point, so k=1 is
+// delegated to the versioned, memoized scalar path — the zoned and scalar
+// evaluations of the same point return the identical result.
+func (m *Model) EvaluateZonedWarm(omega float64, z *Zoning, currents []float64, warm []float64) (*Result, error) {
 	if z == nil {
 		return nil, fmt.Errorf("thermal: nil zoning")
 	}
@@ -91,6 +101,9 @@ func (m *Model) EvaluateZoned(omega float64, z *Zoning, currents []float64) (*Re
 	if err := m.checkOperatingPoint(omega, maxCur); err != nil {
 		return nil, err
 	}
+	if z.numZones == 1 {
+		return m.EvaluateWarm(omega, currents[0], warm)
+	}
 
 	cur := func(cell int) float64 { return currents[z.zoneOf[cell]] }
 	sc := m.getScratch()
@@ -98,7 +111,11 @@ func (m *Model) EvaluateZoned(omega float64, z *Zoning, currents []float64) (*Re
 	// Zoned current patterns are left unversioned: the factor cache keys on
 	// scalar operating points only, and a wrong reuse would be silent.
 	m.assembleInto(sc, omega, cur, true, nil)
-	sparse.Fill(sc.warm, m.cfg.Ambient)
+	if len(warm) == m.n {
+		copy(sc.warm, warm)
+	} else {
+		sparse.Fill(sc.warm, m.cfg.Ambient)
+	}
 	t, stats, err := m.solveScratch(sc, sc.warm)
 	if err != nil || !m.physical(t) {
 		return m.runawayResult(omega, maxCur, stats), nil

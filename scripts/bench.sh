@@ -8,7 +8,11 @@
 # Successive PRs diff the JSON instead of eyeballing `go test -bench`
 # output.
 #
-# Usage: scripts/bench.sh [output.json]
+# It also records the backend comparison — BenchmarkROMEvaluate against
+# the full backend's repeated-point and cold solves — into
+# BENCH_backend.json; the acceptance bar is rom_vs_cold_full ≥ 10.
+#
+# Usage: scripts/bench.sh [output.json] [backend-output.json]
 #   BENCHTIME=5s scripts/bench.sh       # longer runs for stabler numbers
 set -eu
 
@@ -16,6 +20,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
 OUT="${1:-BENCH_evaluate.json}"
+BACKEND_OUT="${2:-BENCH_backend.json}"
 raw="$(mktemp)"
 parsed="$(mktemp)"
 current="$(mktemp)"
@@ -23,7 +28,7 @@ trap 'rm -f "$raw" "$parsed" "$current"' EXIT
 
 echo "== go test -bench (hot path, benchtime $BENCHTIME)"
 go test -run '^$' \
-	-bench '^(BenchmarkEvaluate|BenchmarkEvaluateExact|BenchmarkEvaluateCold|BenchmarkEvaluateExactCold)$' \
+	-bench '^(BenchmarkEvaluate|BenchmarkEvaluateExact|BenchmarkEvaluateCold|BenchmarkEvaluateExactCold|BenchmarkROMEvaluate)$' \
 	-benchtime "$BENCHTIME" -benchmem . | tee "$raw"
 go test -run '^$' \
 	-bench '^(BenchmarkAssemble|BenchmarkAssembleReference)$' \
@@ -78,3 +83,32 @@ jq -n \
 
 echo "== wrote $OUT"
 jq '.speedup' "$OUT"
+
+# The backend comparison: the ROM fast path against the full backend's
+# cold solve (both use the distinct-point pattern, so neither the model
+# memo nor the evaluation cache answers) and against the repeated-point
+# hot path. rom_vs_cold_full is the number the ISSUE 5 acceptance bar
+# reads: the ROM must evaluate at least 10× faster than a cold full
+# solve while staying inside its advertised temperature-error bound
+# (asserted by the fidelity tests in internal/thermal and the gate in
+# scripts/check.sh).
+jq -n \
+	--arg benchtime "$BENCHTIME" \
+	--slurpfile current "$current" \
+	'
+	$current[0] as $cur |
+	{
+		benchtime: $benchtime,
+		full: {
+			repeated: $cur.BenchmarkEvaluate,
+			cold:     $cur.BenchmarkEvaluateCold
+		},
+		rom: $cur.BenchmarkROMEvaluate,
+		speedup: {
+			rom_vs_cold_full:     ($cur.BenchmarkEvaluateCold.ns_per_op / $cur.BenchmarkROMEvaluate.ns_per_op),
+			rom_vs_repeated_full: ($cur.BenchmarkEvaluate.ns_per_op / $cur.BenchmarkROMEvaluate.ns_per_op)
+		}
+	}' >"$BACKEND_OUT"
+
+echo "== wrote $BACKEND_OUT"
+jq '.speedup' "$BACKEND_OUT"

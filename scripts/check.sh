@@ -33,6 +33,16 @@ echo "== go test -race (solver conformance + fallback fault injection)"
 go test -race -run 'Conformance|Fallback|Cancel|Trace|Stop|FaultWrapper|EvalAccounting|Gradient' \
 	./internal/solver/... ./internal/core/...
 
+# The backend-conformance gate by name: the k=1 zoned/scalar agreement
+# contract through the backend layer, the registry and ROM fall-through
+# behavior, ROM fidelity against the advertised bound, the backendleak
+# seam analyzer, and mixed scalar/zoned traffic on one shared evalcache —
+# the set that keeps every backend interchangeable.
+echo "== go test -race (backend conformance)"
+go test -race \
+	-run 'SingleZoneMatchesScalarRun|Registry|FullScalarMatchesModel|ROM|MixedTraffic|BackendLeak|Binding|Quantized|Oversized|Waiter' \
+	./internal/core/... ./internal/backend/... ./internal/evalcache/... ./internal/thermal/... ./internal/lint/...
+
 echo "== go test -race ./..."
 go test -race ./...
 
@@ -47,7 +57,7 @@ go test -run '^$' -bench 'SurfaceGrid' -benchtime 1x .
 # numbers in BENCH_evaluate.json.
 echo "== go test -bench (hot-path smoke, benchtime=1x)"
 go test -run '^$' \
-	-bench '^(BenchmarkEvaluate|BenchmarkEvaluateExact|BenchmarkEvaluateCold|BenchmarkEvaluateExactCold)$' \
+	-bench '^(BenchmarkEvaluate|BenchmarkEvaluateExact|BenchmarkEvaluateCold|BenchmarkEvaluateExactCold|BenchmarkROMEvaluate)$' \
 	-benchtime 1x .
 go test -run '^$' -bench '^BenchmarkAssemble$' -benchtime 1x ./internal/thermal
 
