@@ -165,6 +165,8 @@ func (b *Binding) Fallthrough() backend.Evaluator { return b.ev }
 // waits return the already-solved result and ignore it. Waiters honor ctx
 // cancellation (the leader's solve continues for the others); a nil ctx
 // waits unconditionally.
+//
+//oftec:hotpath
 func (b *Binding) Evaluate(ctx context.Context, op backend.OpPoint, warm []float64) (*thermal.Result, error) {
 	k := op.K()
 	if k == 0 || k > maxInlineK {
@@ -187,17 +189,9 @@ func (b *Binding) Evaluate(ctx context.Context, op backend.OpPoint, warm []float
 	if fl, ok := c.infl[ck]; ok {
 		c.stats.Waits++
 		c.mu.Unlock()
-		if ctx == nil {
-			<-fl.done
-			return fl.res, fl.err
-		}
-		select {
-		case <-fl.done:
-			return fl.res, fl.err
-		case <-ctx.Done():
-			return nil, fmt.Errorf("evalcache: wait for in-flight solve: %w", ctx.Err())
-		}
+		return waitInflight(ctx, fl)
 	}
+	//lint:ignore hotalloc one rendezvous per deduplicated miss; the hit path allocates nothing
 	fl := &inflight{done: make(chan struct{})}
 	c.infl[ck] = fl
 	c.stats.Misses++
@@ -219,8 +213,27 @@ func (b *Binding) Evaluate(ctx context.Context, op backend.OpPoint, warm []float
 	return fl.res, fl.err
 }
 
+// waitInflight parks a coalesced caller on the leader's rendezvous,
+// honoring ctx cancellation (a nil ctx waits unconditionally).
+//
+//oftec:allocok coalesced-wait path blocks on a channel anyway; the cancellation error is off the hot path
+func waitInflight(ctx context.Context, fl *inflight) (*thermal.Result, error) {
+	if ctx == nil {
+		<-fl.done
+		return fl.res, fl.err
+	}
+	select {
+	case <-fl.done:
+		return fl.res, fl.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("evalcache: wait for in-flight solve: %w", ctx.Err())
+	}
+}
+
 // lookupLocked checks both generations, promoting old-generation hits
 // into the current one so the hot working set survives the next rotation.
+//
+//oftec:hotpath
 func (c *Cache) lookupLocked(ck key) (*thermal.Result, bool) {
 	if r, ok := c.cur[ck]; ok {
 		return r, true
@@ -236,9 +249,12 @@ func (c *Cache) lookupLocked(ck key) (*thermal.Result, bool) {
 // storeLocked inserts into the current generation, rotating when full:
 // the previous generation is kept readable, so an eviction discards at
 // most the stale half of the working set.
+//
+//oftec:hotpath
 func (c *Cache) storeLocked(ck key, r *thermal.Result) {
 	if len(c.cur) >= c.capacity {
 		c.old = c.cur
+		//lint:ignore hotalloc amortized generation rotation, once per capacity inserts
 		c.cur = make(map[key]*thermal.Result, len(c.old))
 		c.stats.Rotations++
 	}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Baseline support: oftecvet -write-baseline snapshots the current
+// findings into a JSON file; -baseline compares a later run against the
+// snapshot and fails only on drift. The committed baseline for this
+// repository is empty and scripts/check.sh keeps it that way — the
+// mechanism exists so a finding introduced by an upstream change can be
+// parked deliberately (reviewed, committed, visible in the diff) instead
+// of silently accumulating or blocking unrelated work.
+//
+// Matching is a count-based multiset over (file, analyzer, message):
+// line and column are recorded for human readers but ignored when
+// diffing, so an unrelated edit that shifts a parked finding by twenty
+// lines does not invalidate the baseline, while a second instance of the
+// same message in the same file does.
+
+// BaselineEntry is one recorded finding. File paths are stored as given
+// (the driver normalizes them to module-root-relative slash paths so the
+// file is stable across checkouts).
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// ToBaseline converts diagnostics (already sorted by Run) into baseline
+// entries, applying norm to each file path (nil keeps paths as-is).
+func ToBaseline(diags []Diagnostic, norm func(string) string) []BaselineEntry {
+	entries := make([]BaselineEntry, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if norm != nil {
+			file = norm(file)
+		}
+		entries = append(entries, BaselineEntry{
+			File:     file,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return entries
+}
+
+// MarshalBaseline renders entries as stable, human-diffable JSON: sorted,
+// indented, newline-terminated. An empty baseline is "[]\n", never
+// "null".
+func MarshalBaseline(entries []BaselineEntry) ([]byte, error) {
+	sorted := append([]BaselineEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	if sorted == nil {
+		sorted = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(sorted, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// UnmarshalBaseline parses a baseline file, validating that every entry
+// carries the fields the diff keys on.
+func UnmarshalBaseline(data []byte) ([]BaselineEntry, error) {
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: parse baseline: %w", err)
+	}
+	for i, e := range entries {
+		if e.File == "" || e.Analyzer == "" || e.Message == "" {
+			return nil, fmt.Errorf("lint: baseline entry %d is missing file, analyzer, or message", i)
+		}
+	}
+	return entries, nil
+}
+
+// baselineKey is the multiset identity one finding matches under.
+type baselineKey struct {
+	file, analyzer, message string
+}
+
+// DiffBaseline splits current findings against a baseline: new findings
+// (not covered by the baseline, counting multiplicity) and stale entries
+// (baselined findings that no longer occur — candidates for removal).
+// Entries and diagnostics must use the same path normalization.
+func DiffBaseline(current []BaselineEntry, baseline []BaselineEntry) (fresh, stale []BaselineEntry) {
+	have := map[baselineKey]int{}
+	for _, e := range baseline {
+		have[baselineKey{e.File, e.Analyzer, e.Message}]++
+	}
+	for _, e := range current {
+		k := baselineKey{e.File, e.Analyzer, e.Message}
+		if have[k] > 0 {
+			have[k]--
+			continue
+		}
+		fresh = append(fresh, e)
+	}
+	// Whatever multiplicity remains uncovered is stale.
+	for _, e := range baseline {
+		k := baselineKey{e.File, e.Analyzer, e.Message}
+		if have[k] > 0 {
+			have[k]--
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}

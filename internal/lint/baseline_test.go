@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/token"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "internal/a/a.go", Line: 10, Column: 3}, Analyzer: "hotalloc", Message: "make allocates"},
+		{Pos: token.Position{Filename: "internal/b/b.go", Line: 2, Column: 1}, Analyzer: "errdrop", Message: "error value discarded with _"},
+	}
+	entries := ToBaseline(diags, nil)
+	data, err := MarshalBaseline(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalBaseline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(entries, back) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, entries)
+	}
+	// Marshal again: byte-stable, so -write-baseline twice never churns
+	// the committed file.
+	data2, err := MarshalBaseline(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Errorf("marshal not stable:\n%s\nvs\n%s", data, data2)
+	}
+}
+
+func TestBaselineEmptyMarshal(t *testing.T) {
+	data, err := MarshalBaseline(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[]\n" {
+		t.Errorf("empty baseline = %q, want %q", data, "[]\n")
+	}
+	entries, err := UnmarshalBaseline(data)
+	if err != nil || len(entries) != 0 {
+		t.Errorf("UnmarshalBaseline([]) = %v, %v", entries, err)
+	}
+}
+
+func TestBaselineNormalization(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "/abs/root/internal/a/a.go", Line: 1, Column: 1}, Analyzer: "x", Message: "m"},
+	}
+	entries := ToBaseline(diags, func(p string) string {
+		return strings.TrimPrefix(p, "/abs/root/")
+	})
+	if entries[0].File != "internal/a/a.go" {
+		t.Errorf("normalized file = %q", entries[0].File)
+	}
+}
+
+func TestBaselineUnmarshalRejectsIncomplete(t *testing.T) {
+	cases := []string{
+		`[{"file":"","line":1,"col":1,"analyzer":"a","message":"m"}]`,
+		`[{"file":"f","line":1,"col":1,"analyzer":"","message":"m"}]`,
+		`[{"file":"f","line":1,"col":1,"analyzer":"a","message":""}]`,
+		`{"not":"an array"}`,
+	}
+	for _, c := range cases {
+		if _, err := UnmarshalBaseline([]byte(c)); err == nil {
+			t.Errorf("UnmarshalBaseline(%s) should fail", c)
+		}
+	}
+}
+
+func TestDiffBaseline(t *testing.T) {
+	e := func(file, analyzer, msg string, line int) BaselineEntry {
+		return BaselineEntry{File: file, Line: line, Col: 1, Analyzer: analyzer, Message: msg}
+	}
+
+	// Line drift does not invalidate a baselined finding.
+	fresh, stale := DiffBaseline(
+		[]BaselineEntry{e("a.go", "hotalloc", "make allocates", 40)},
+		[]BaselineEntry{e("a.go", "hotalloc", "make allocates", 10)},
+	)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("line drift: fresh=%v stale=%v, want none", fresh, stale)
+	}
+
+	// Multiplicity counts: two identical findings against one baselined
+	// instance leaves one fresh.
+	fresh, stale = DiffBaseline(
+		[]BaselineEntry{
+			e("a.go", "hotalloc", "make allocates", 10),
+			e("a.go", "hotalloc", "make allocates", 20),
+		},
+		[]BaselineEntry{e("a.go", "hotalloc", "make allocates", 10)},
+	)
+	if len(fresh) != 1 || len(stale) != 0 {
+		t.Errorf("multiset: fresh=%v stale=%v, want 1 fresh", fresh, stale)
+	}
+
+	// A fixed finding surfaces as stale so the baseline gets cleaned up.
+	fresh, stale = DiffBaseline(
+		nil,
+		[]BaselineEntry{e("a.go", "errdrop", "dropped", 5)},
+	)
+	if len(fresh) != 0 || len(stale) != 1 {
+		t.Errorf("stale: fresh=%v stale=%v, want 1 stale", fresh, stale)
+	}
+
+	// Different file, same message: no match.
+	fresh, _ = DiffBaseline(
+		[]BaselineEntry{e("b.go", "errdrop", "dropped", 5)},
+		[]BaselineEntry{e("a.go", "errdrop", "dropped", 5)},
+	)
+	if len(fresh) != 1 {
+		t.Errorf("cross-file: fresh=%v, want 1", fresh)
+	}
+}

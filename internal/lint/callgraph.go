@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CallGraph is the module-wide static call graph: one node per function or
+// method declaration across every loaded package, with edges for every
+// call whose callee resolves statically through go/types (direct function
+// calls, method calls on concrete receivers, and cross-package qualified
+// calls). Dynamic dispatch — interface method calls, calls through
+// function-typed values — has no static callee and contributes no edge;
+// analyzers that propagate obligations along edges are therefore
+// propagating only what the type checker can prove.
+type CallGraph struct {
+	// Nodes indexes every declared function by its canonical object.
+	Nodes map[*types.Func]*CallNode
+}
+
+// CallNode is one declared function with its outgoing static calls.
+type CallNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Directives are the //oftec: annotations from the declaration's doc.
+	Directives funcDirectives
+	// Calls are the static call sites inside the declaration, in source
+	// order, including calls made inside nested function literals (a
+	// closure created by a hot function runs on the same path in every
+	// use this repository has).
+	Calls []CallEdge
+}
+
+// CallEdge is one resolved call site.
+type CallEdge struct {
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// BuildCallGraph resolves the static call graph over the given packages.
+// Packages must share one token.FileSet (the loaders guarantee this).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: map[*types.Func]*CallNode{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &CallNode{
+					Fn:         fn,
+					Decl:       fd,
+					Pkg:        pkg,
+					Directives: parseFuncDirectives(fd.Doc),
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := staticCallee(pkg.Info, call); callee != nil {
+						node.Calls = append(node.Calls, CallEdge{Callee: callee, Pos: call.Pos()})
+					}
+					return true
+				})
+				g.Nodes[fn] = node
+			}
+		}
+	}
+	return g
+}
+
+// staticCallee resolves a call expression to the concrete function or
+// method object it invokes, or nil for dynamic calls, conversions, and
+// builtins. Interface methods resolve to the abstract method object,
+// which has no node in the graph — edges to them dead-end naturally.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// NodeByName finds a node whose qualified name ("pkgpath.Func" or
+// "pkgpath.(Type).Method") matches; test helper and diagnostics aid.
+func (g *CallGraph) NodeByName(qualified string) *CallNode {
+	for fn, n := range g.Nodes {
+		if funcDisplayName(fn) == qualified {
+			return n
+		}
+	}
+	return nil
+}
+
+// funcDisplayName renders a function object the way diagnostics name it:
+// "Func" or "(Type).Method", package-qualified only when needed by the
+// caller.
+func funcDisplayName(fn *types.Func) string {
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return "(" + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return fn.Name()
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCallGraphOnFixture builds the call graph over the hotalloc fixture
+// and checks the resolution rules: direct calls and method calls appear
+// as edges, dynamic calls (interface methods seen from the caller side)
+// dead-end, and //oftec: directives are attached to the right nodes.
+func TestCallGraphOnFixture(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "hotalloc"), "fixture/hotalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildCallGraph([]*Package{pkg})
+
+	eval := g.NodeByName("evaluate")
+	if eval == nil {
+		t.Fatal("evaluate not in call graph")
+	}
+	if !eval.Directives.hotpath {
+		t.Error("evaluate must carry //oftec:hotpath")
+	}
+	wantCallees := map[string]bool{"sum": false, "coldPath": false}
+	for _, e := range eval.Calls {
+		name := funcDisplayName(e.Callee)
+		if _, ok := wantCallees[name]; ok {
+			wantCallees[name] = true
+		}
+	}
+	for name, seen := range wantCallees {
+		if !seen {
+			t.Errorf("evaluate is missing a call edge to %s", name)
+		}
+	}
+
+	cold := g.NodeByName("coldPath")
+	if cold == nil || !cold.Directives.allocok || cold.Directives.allocokReason == "" {
+		t.Errorf("coldPath must carry a reasoned //oftec:allocok, got %+v", cold)
+	}
+
+	bare := g.NodeByName("reasonless")
+	if bare == nil || !bare.Directives.allocok || bare.Directives.allocokReason != "" {
+		t.Errorf("reasonless must parse as allocok without reason, got %+v", bare)
+	}
+
+	load := g.NodeByName("(memoCache).load")
+	if load == nil {
+		t.Fatal("(memoCache).load not in call graph")
+	}
+	if !load.Directives.hotpath {
+		t.Error("(memoCache).load must carry //oftec:hotpath")
+	}
+
+	// accept calls s.consume() through an interface: the edge resolves to
+	// the abstract method, which has no node — it must dead-end, not point
+	// at the concrete intBox implementation.
+	accept := g.NodeByName("accept")
+	if accept == nil {
+		t.Fatal("accept not in call graph")
+	}
+	for _, e := range accept.Calls {
+		if _, ok := g.Nodes[e.Callee]; ok {
+			t.Errorf("interface call resolved to in-module node %s; must dead-end", funcDisplayName(e.Callee))
+		}
+	}
+}

@@ -1,0 +1,491 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the lightweight intraprocedural control-flow graph the
+// dataflow analyzers (lockorder, goroleak) walk. It deliberately models
+// only what those analyzers need: ordered statements grouped into basic
+// blocks, successor edges for if/for/range/switch/select, return edges
+// into one synthetic exit block, and the function's defer list (deferred
+// calls run at every exit, so exit-sensitive analyses overlay them on the
+// exit block rather than on every return site). Panics and unterminated
+// infinite loops end a path without reaching the exit block — a path that
+// cannot return carries no "on return" obligations. Goto is resolved to
+// its label when the label is in scope; unresolved gotos conservatively
+// fall through.
+
+// Block is one basic block: statements that execute in order with no
+// internal control transfer, plus the successor edges out of the block.
+type Block struct {
+	Index int
+	// Stmts are the statements (and for/if/switch headers) attributed to
+	// this block, in execution order. Control statements contribute their
+	// header expressions here; their bodies live in successor blocks.
+	Stmts []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry *Block
+	// Exit is the synthetic join of every returning path. A block with an
+	// edge to Exit either ends in a return or falls off the end of the
+	// function body.
+	Exit   *Block
+	Blocks []*Block
+	// Defers lists every defer statement in the body, in source order.
+	// Deferred calls run on every exit path (and during panics).
+	Defers []*ast.DeferStmt
+}
+
+// cfgBuilder carries the loop/label context while translating statements.
+type cfgBuilder struct {
+	cfg *CFG
+	// breakTo / continueTo are stacks of jump targets for the innermost
+	// enclosing breakable (for/range/switch/select) and continuable
+	// (for/range) statements.
+	breakTo    []*Block
+	continueTo []*Block
+	// labels maps a label name to its labeled statement's break/continue
+	// targets; gotoTo maps it to the statement's own entry block.
+	labelBreak    map[string]*Block
+	labelContinue map[string]*Block
+	gotoTo        map[string]*Block
+	// pendingGotos are goto edges to labels not yet seen.
+	pendingGotos map[string][]*Block
+	// labelPending names the label wrapping the statement currently being
+	// translated, so pushLoop/pushBreak can register labeled targets.
+	labelPending string
+}
+
+// BuildCFG constructs the CFG for a function body. A nil body yields a
+// graph whose entry is also its only block, with an edge to the exit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:           &CFG{},
+		labelBreak:    map[string]*Block{},
+		labelContinue: map[string]*Block{},
+		gotoTo:        map[string]*Block{},
+		pendingGotos:  map[string][]*Block{},
+	}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	b.cfg.Entry, b.cfg.Exit = entry, exit
+	cur := entry
+	if body != nil {
+		cur = b.stmtList(body.List, cur)
+	}
+	if cur != nil {
+		b.edge(cur, exit)
+	}
+	// Unresolved forward gotos (label never declared — ill-formed code, or
+	// a label inside a nested function literal): fall through to exit so
+	// the path is not silently lost.
+	for _, srcs := range b.pendingGotos {
+		for _, s := range srcs {
+			b.edge(s, exit)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmtList translates a statement sequence starting in cur and returns the
+// block live after the last statement, or nil when control cannot fall
+// through (return, break, panic-terminated, …).
+func (b *cfgBuilder) stmtList(stmts []ast.Stmt, cur *Block) *Block {
+	for _, s := range stmts {
+		if cur == nil {
+			// Dead code after a terminating statement still gets blocks so
+			// analyzers can inspect it, but with no inbound edge.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+// stmt translates one statement; returns the live block after it (nil if
+// control does not fall through).
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, cur)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		cur.Stmts = append(cur.Stmts, s.Cond)
+		thenBlk := b.newBlock()
+		b.edge(cur, thenBlk)
+		thenEnd := b.stmtList(s.Body.List, thenBlk)
+		var elseEnd *Block
+		join := b.newBlock()
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(cur, elseBlk)
+			elseEnd = b.stmt(s.Else, elseBlk)
+		} else {
+			b.edge(cur, join)
+		}
+		dead := true
+		if thenEnd != nil {
+			b.edge(thenEnd, join)
+			dead = false
+		}
+		if elseEnd != nil {
+			b.edge(elseEnd, join)
+			dead = false
+		}
+		if s.Else == nil {
+			dead = false
+		}
+		if dead {
+			return nil
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.Stmts = append(head.Stmts, s.Cond)
+		}
+		after := b.newBlock()
+		post := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.pushLoop(after, post)
+		bodyEnd := b.stmtList(s.Body.List, body)
+		b.popLoop()
+		if bodyEnd != nil {
+			b.edge(bodyEnd, post)
+		}
+		if s.Post != nil {
+			post.Stmts = append(post.Stmts, s.Post)
+		}
+		b.edge(post, head)
+		if s.Cond == nil && !reachable(head, after) {
+			// for {} with no break out: control never falls through.
+			return nil
+		}
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(cur, head)
+		head.Stmts = append(head.Stmts, s.X)
+		after := b.newBlock()
+		b.edge(head, after) // range may iterate zero times
+		body := b.newBlock()
+		b.edge(head, body)
+		b.pushLoop(after, head)
+		bodyEnd := b.stmtList(s.Body.List, body)
+		b.popLoop()
+		if bodyEnd != nil {
+			b.edge(bodyEnd, head)
+		}
+		return after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var tag ast.Node
+		var body *ast.BlockStmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			init, body = sw.Init, sw.Body
+			if sw.Tag != nil {
+				tag = sw.Tag
+			}
+		} else {
+			ts := s.(*ast.TypeSwitchStmt)
+			init, body = ts.Init, ts.Body
+			tag = ts.Assign
+		}
+		if init != nil {
+			cur = b.stmt(init, cur)
+		}
+		if tag != nil {
+			cur.Stmts = append(cur.Stmts, tag)
+		}
+		after := b.newBlock()
+		b.pushBreak(after)
+		// Case bodies; fallthrough chains to the next case's body block.
+		var caseBlocks []*Block
+		var clauses []*ast.CaseClause
+		hasDefault := false
+		for _, cs := range body.List {
+			cc := cs.(*ast.CaseClause)
+			clauses = append(clauses, cc)
+			caseBlocks = append(caseBlocks, b.newBlock())
+			if cc.List == nil {
+				hasDefault = true
+			}
+		}
+		for i, cc := range clauses {
+			blk := caseBlocks[i]
+			b.edge(cur, blk)
+			for _, e := range cc.List {
+				blk.Stmts = append(blk.Stmts, e)
+			}
+			var next *Block
+			if i+1 < len(caseBlocks) {
+				next = caseBlocks[i+1]
+			}
+			end := b.caseBody(cc.Body, blk, next)
+			if end != nil {
+				b.edge(end, after)
+			}
+		}
+		if !hasDefault {
+			b.edge(cur, after)
+		}
+		b.popBreak()
+		return after
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		b.pushBreak(after)
+		fellThrough := false
+		for _, cs := range s.Body.List {
+			cc := cs.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(cur, blk)
+			if cc.Comm != nil {
+				blk.Stmts = append(blk.Stmts, cc.Comm)
+			}
+			end := b.stmtList(cc.Body, blk)
+			if end != nil {
+				b.edge(end, after)
+				fellThrough = true
+			}
+		}
+		b.popBreak()
+		if len(s.Body.List) == 0 || !fellThrough {
+			// select{} blocks forever; a select whose every case
+			// terminates does not fall through either — unless a break
+			// reached after.
+			if !reachableFromAny(b.cfg.Blocks, after) {
+				return nil
+			}
+		}
+		return after
+
+	case *ast.ReturnStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		b.edge(cur, b.cfg.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if t := b.labelBreak[s.Label.Name]; t != nil {
+					b.edge(cur, t)
+				}
+			} else if t := b.curBreak(); t != nil {
+				b.edge(cur, t)
+			}
+			return nil
+		case token.CONTINUE:
+			if s.Label != nil {
+				if t := b.labelContinue[s.Label.Name]; t != nil {
+					b.edge(cur, t)
+				}
+			} else if t := b.curContinue(); t != nil {
+				b.edge(cur, t)
+			}
+			return nil
+		case token.GOTO:
+			if t := b.gotoTo[s.Label.Name]; t != nil {
+				b.edge(cur, t)
+			} else {
+				b.pendingGotos[s.Label.Name] = append(b.pendingGotos[s.Label.Name], cur)
+			}
+			return nil
+		case token.FALLTHROUGH:
+			// Handled by caseBody; treat as fallthrough-to-next there.
+			return cur
+		}
+		return cur
+
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.edge(cur, target)
+		b.gotoTo[s.Label.Name] = target
+		for _, src := range b.pendingGotos[s.Label.Name] {
+			b.edge(src, target)
+		}
+		delete(b.pendingGotos, s.Label.Name)
+		// For labeled loops/switches, labeled break/continue must resolve
+		// to the statement's own targets; record them around translation.
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.labelPending = s.Label.Name
+			end := b.stmt(inner, target)
+			b.labelPending = ""
+			return end
+		default:
+			return b.stmt(s.Stmt, target)
+		}
+
+	case *ast.DeferStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		return cur
+
+	case *ast.ExprStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		if isPanicOrExit(s.X) {
+			// The path unwinds; it never reaches the function's exit.
+			return nil
+		}
+		return cur
+
+	default:
+		// Assignments, declarations, go statements, sends, inc/dec, empty
+		// statements: straight-line.
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+	}
+}
+
+// caseBody translates one case clause body; fallthrough jumps to next.
+func (b *cfgBuilder) caseBody(stmts []ast.Stmt, cur *Block, next *Block) *Block {
+	for _, s := range stmts {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			if next != nil && cur != nil {
+				b.edge(cur, next)
+			}
+			return nil
+		}
+		if cur == nil {
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block) {
+	b.breakTo = append(b.breakTo, brk)
+	b.continueTo = append(b.continueTo, cont)
+	if b.labelPending != "" {
+		b.labelBreak[b.labelPending] = brk
+		b.labelContinue[b.labelPending] = cont
+		b.labelPending = ""
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+}
+
+func (b *cfgBuilder) pushBreak(brk *Block) {
+	b.breakTo = append(b.breakTo, brk)
+	b.continueTo = append(b.continueTo, nil)
+	if b.labelPending != "" {
+		b.labelBreak[b.labelPending] = brk
+		b.labelPending = ""
+	}
+}
+
+func (b *cfgBuilder) popBreak() { b.popLoop() }
+
+func (b *cfgBuilder) curBreak() *Block {
+	for i := len(b.breakTo) - 1; i >= 0; i-- {
+		if b.breakTo[i] != nil {
+			return b.breakTo[i]
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) curContinue() *Block {
+	for i := len(b.continueTo) - 1; i >= 0; i-- {
+		if b.continueTo[i] != nil {
+			return b.continueTo[i]
+		}
+	}
+	return nil
+}
+
+// isPanicOrExit reports whether the expression is a call to panic or
+// os.Exit — statements after which control does not continue.
+func isPanicOrExit(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if id, ok := fn.X.(*ast.Ident); ok {
+			return (id.Name == "os" && fn.Sel.Name == "Exit") ||
+				(id.Name == "log" && (fn.Sel.Name == "Fatal" || fn.Sel.Name == "Fatalf" || fn.Sel.Name == "Fatalln"))
+		}
+	}
+	return false
+}
+
+// reachable reports whether to can be reached from from along successor
+// edges.
+func reachable(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+// reachableFromAny reports whether any block currently has an edge to
+// target.
+func reachableFromAny(blocks []*Block, target *Block) bool {
+	for _, blk := range blocks {
+		for _, s := range blk.Succs {
+			if s == target {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a single function declaration and returns its body.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "x.go", "package x\n"+src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// exitReachable reports whether the exit block is reachable from entry.
+func exitReachable(cfg *CFG) bool {
+	return reachable(cfg.Entry, cfg.Exit)
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `func f() { a := 1; _ = a }`))
+	if !exitReachable(cfg) {
+		t.Error("straight-line body must reach exit")
+	}
+	if len(cfg.Entry.Stmts) != 2 {
+		t.Errorf("entry has %d stmts, want 2", len(cfg.Entry.Stmts))
+	}
+}
+
+func TestCFGIfBothBranches(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `func f(c bool) int {
+		if c {
+			return 1
+		}
+		return 2
+	}`))
+	if !exitReachable(cfg) {
+		t.Error("exit must be reachable")
+	}
+	// Both returns edge into exit; nothing should fall off the end twice.
+	inbound := 0
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			if s == cfg.Exit {
+				inbound++
+			}
+		}
+	}
+	if inbound != 2 {
+		t.Errorf("exit has %d inbound edges, want 2 (one per return)", inbound)
+	}
+}
+
+func TestCFGInfiniteLoopDoesNotReachExit(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `func f() { for { } }`))
+	if exitReachable(cfg) {
+		t.Error("for{} must not reach exit")
+	}
+	cfg = BuildCFG(parseBody(t, `func f() {
+		for {
+			break
+		}
+	}`))
+	if !exitReachable(cfg) {
+		t.Error("for{break} must reach exit")
+	}
+}
+
+func TestCFGPanicTerminatesPath(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `func f(c bool) {
+		if c {
+			panic("boom")
+		}
+	}`))
+	if !exitReachable(cfg) {
+		t.Error("non-panicking path must still reach exit")
+	}
+	cfg = BuildCFG(parseBody(t, `func f() { panic("boom") }`))
+	if exitReachable(cfg) {
+		t.Error("unconditional panic must not reach exit")
+	}
+}
+
+func TestCFGDefersRecorded(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `func f() {
+		defer a()
+		defer b()
+	}`))
+	if len(cfg.Defers) != 2 {
+		t.Errorf("recorded %d defers, want 2", len(cfg.Defers))
+	}
+}
+
+func TestCFGSwitchFallthroughAndDefault(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `func f(x int) int {
+		switch x {
+		case 1:
+			return 1
+		case 2:
+			fallthrough
+		default:
+			return 0
+		}
+	}`))
+	// Every case terminates (return or fallthrough-to-return) and there is
+	// a default, so nothing falls through the switch; the returns reach
+	// exit.
+	if !exitReachable(cfg) {
+		t.Error("switch returns must reach exit")
+	}
+}
+
+func TestCFGSelectBlocksForever(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `func f() { select {} }`))
+	if exitReachable(cfg) {
+		t.Error("select{} must not reach exit")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `func f() {
+	outer:
+		for {
+			for {
+				break outer
+			}
+		}
+	}`))
+	if !exitReachable(cfg) {
+		t.Error("labeled break out of nested infinite loops must reach exit")
+	}
+}
+
+func TestCFGRangeZeroIterations(t *testing.T) {
+	cfg := BuildCFG(parseBody(t, `func f(xs []int) {
+		for range xs {
+			panic("never falls through")
+		}
+	}`))
+	if !exitReachable(cfg) {
+		t.Error("range may iterate zero times, exit must stay reachable")
+	}
+}
+
+func TestCFGNilBody(t *testing.T) {
+	cfg := BuildCFG(nil)
+	if !exitReachable(cfg) {
+		t.Error("nil body must trivially reach exit")
+	}
+}

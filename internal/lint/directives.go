@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The //oftec: annotation grammar ties the static allocation discipline to
+// the code it protects:
+//
+//	//oftec:hotpath
+//	    in a function's doc comment: the function (and, through the call
+//	    graph, every module-internal function it can reach) must not
+//	    allocate. This is the static counterpart of the 0 allocs/op
+//	    contract the PR 3 benchmarks established dynamically.
+//
+//	//oftec:allocok <reason>
+//	    in a callee's doc comment: the callee is a sanctioned cold or
+//	    amortized path (factorization on a version miss, error
+//	    construction, result materialization) — the hot-path obligation
+//	    stops here and the callee's body is not scanned. The reason is
+//	    mandatory; a bare //oftec:allocok is itself a finding.
+//
+// The directives live in doc comments (immediately above the declaration)
+// so they travel with the function through refactors, unlike line-keyed
+// //lint:ignore suppressions which pin single findings.
+
+const (
+	hotpathDirective = "//oftec:hotpath"
+	allocokDirective = "//oftec:allocok"
+)
+
+// funcDirectives is the parsed annotation state of one function.
+type funcDirectives struct {
+	hotpath       bool
+	allocok       bool
+	allocokReason string
+}
+
+// parseFuncDirectives reads the //oftec: directives out of a declaration's
+// doc comment group.
+func parseFuncDirectives(doc *ast.CommentGroup) funcDirectives {
+	var d funcDirectives
+	if doc == nil {
+		return d
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		switch {
+		case text == hotpathDirective:
+			d.hotpath = true
+		case text == allocokDirective || strings.HasPrefix(text, allocokDirective+" "):
+			d.allocok = true
+			d.allocokReason = strings.TrimSpace(strings.TrimPrefix(text, allocokDirective))
+		}
+	}
+	return d
+}

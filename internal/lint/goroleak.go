@@ -1,0 +1,360 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeakAnalyzer requires every goroutine this module launches to carry
+// a provable join or cancellation obligation. A bare `go f()` with
+// neither is how solver workers outlive a cancelled sweep: nothing waits
+// for it, nothing can stop it, and under the benchmark harness it
+// accumulates as a leak. A go statement passes if the spawned body
+// satisfies at least one of:
+//
+//   - WaitGroup join: the body calls Done (directly or deferred) on a
+//     sync.WaitGroup, and a matching Add on the same WaitGroup reaches
+//     the go statement on the spawner's CFG;
+//   - cancellation: the body receives from a context's Done channel
+//     (`<-ctx.Done()`, typically in a select), so an upstream cancel
+//     terminates it;
+//   - channel join: the body sends on or closes a channel that the
+//     spawner receives from (or ranges over) downstream of the go
+//     statement.
+//
+// Spawns whose body cannot be resolved statically — `go fn()` through a
+// function value — are reported as unprovable: the obligation may exist,
+// but nothing in this module can check it, and the fix (spawn a literal,
+// or name the function) is cheap. WaitGroups and channels are matched by
+// their declaration object; when the spawned body is a named function,
+// its parameters are mapped back to the call's arguments so
+// `go worker(&wg, out)` still links Done/sends in the callee to
+// Add/receives at the spawn site.
+var GoroLeakAnalyzer = &Analyzer{
+	Name:      "goroleak",
+	Doc:       "requires every go statement to have a reachable join (WaitGroup, channel) or cancellation (context) obligation",
+	RunModule: runGoroLeak,
+}
+
+func runGoroLeak(pass *ModulePass) {
+	graph := pass.Graph()
+	for _, node := range sortedNodes(graph) {
+		cfg := pass.CFGOf(node.Decl)
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, graph, node, cfg, gs)
+			return true
+		})
+	}
+}
+
+// spawnBody is the resolved body of a spawned goroutine plus the mapping
+// from objects used inside it back to objects at the spawn site.
+type spawnBody struct {
+	body *ast.BlockStmt
+	info *types.Info
+	// paramArg maps a callee parameter object to the spawner-side object
+	// of the corresponding argument (when the argument resolves to one).
+	paramArg map[types.Object]types.Object
+}
+
+func checkGoStmt(pass *ModulePass, graph *CallGraph, node *CallNode, cfg *CFG, gs *ast.GoStmt) {
+	sb := resolveSpawnBody(pass, graph, node, gs.Call)
+	if sb == nil {
+		pass.Reportf(gs.Pos(), "go statement spawns through a dynamic value; join/cancellation obligation cannot be verified statically — spawn a function literal or a named function")
+		return
+	}
+
+	// Cancellation: the body receives from a context Done channel.
+	if bodyWatchesContext(sb) {
+		return
+	}
+
+	// WaitGroup join: Done in the body, matching Add reaching the spawn.
+	for _, wg := range bodyWaitGroupDones(sb) {
+		if addReachesSpawn(node.Pkg, cfg, gs, wg) {
+			return
+		}
+	}
+
+	// Channel join: the body sends on / closes a channel the spawner
+	// consumes downstream of the spawn.
+	for _, ch := range bodyChannelSignals(sb) {
+		if spawnerConsumesChannel(node.Pkg, cfg, gs, ch) {
+			return
+		}
+	}
+
+	pass.Reportf(gs.Pos(), "goroutine has no join or cancellation obligation: no WaitGroup Done matched by a reachable Add, no context Done receive, and no channel the spawner waits on")
+}
+
+// resolveSpawnBody finds the block of code the go statement runs: the
+// function literal's body, or the declaration body of a statically
+// resolved callee (with parameters mapped to spawn-site arguments).
+func resolveSpawnBody(pass *ModulePass, graph *CallGraph, node *CallNode, call *ast.CallExpr) *spawnBody {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return &spawnBody{body: lit.Body, info: node.Pkg.Info}
+	}
+	callee := staticCallee(node.Pkg.Info, call)
+	if callee == nil {
+		return nil
+	}
+	cn, ok := graph.Nodes[callee]
+	if !ok || cn.Decl.Body == nil {
+		return nil
+	}
+	sb := &spawnBody{body: cn.Decl.Body, info: cn.Pkg.Info, paramArg: map[types.Object]types.Object{}}
+	sig := callee.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+		arg := ast.Unparen(call.Args[i])
+		if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			arg = ast.Unparen(u.X) // &wg → wg
+		}
+		if obj := objectOf(node.Pkg.Info, arg); obj != nil {
+			sb.paramArg[sig.Params().At(i)] = obj
+		}
+	}
+	return sb
+}
+
+// spawnObject resolves an object referenced inside the spawned body to
+// its spawn-site equivalent: callee parameters map through the call's
+// arguments, captured variables are already spawner objects.
+func (sb *spawnBody) spawnObject(obj types.Object) types.Object {
+	if mapped, ok := sb.paramArg[obj]; ok {
+		return mapped
+	}
+	return obj
+}
+
+// bodyWatchesContext reports whether the spawned body receives from a
+// context.Context's Done channel anywhere (select case or direct).
+func bodyWatchesContext(sb *spawnBody) bool {
+	found := false
+	ast.Inspect(sb.body, func(n ast.Node) bool {
+		u, ok := n.(*ast.UnaryExpr)
+		if !ok || u.Op != token.ARROW {
+			return true
+		}
+		call, ok := ast.Unparen(u.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		if t := sb.info.TypeOf(sel.X); t != nil && isContextType(t) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isContextType(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// bodyWaitGroupDones lists the spawn-site objects of every sync.WaitGroup
+// the body calls Done on (deferred or direct).
+func bodyWaitGroupDones(sb *spawnBody) []types.Object {
+	var out []types.Object
+	seen := map[types.Object]bool{}
+	ast.Inspect(sb.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		if !isWaitGroupType(sb.info.TypeOf(sel.X)) {
+			return true
+		}
+		obj := objectOf(sb.info, sel.X)
+		if obj == nil {
+			return true
+		}
+		obj = sb.spawnObject(obj)
+		if !seen[obj] {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+func isWaitGroupType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// addReachesSpawn reports whether an Add call on the given WaitGroup
+// object reaches the go statement on the spawner's CFG (same block
+// earlier in statement order, or in a block with a path to the spawn's
+// block).
+func addReachesSpawn(pkg *Package, cfg *CFG, gs *ast.GoStmt, wg types.Object) bool {
+	if cfg == nil {
+		return false
+	}
+	isAdd := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Add" || !isWaitGroupType(pkg.Info.TypeOf(sel.X)) {
+				return true
+			}
+			if objectOf(pkg.Info, sel.X) == wg {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	return stmtReachesStmt(cfg, isAdd, func(n ast.Node) bool { return n == gs })
+}
+
+// bodyChannelSignals lists the spawn-site objects of channels the body
+// sends on or closes — the signals a joining spawner can wait for.
+func bodyChannelSignals(sb *spawnBody) []types.Object {
+	var out []types.Object
+	seen := map[types.Object]bool{}
+	record := func(e ast.Expr) {
+		obj := objectOf(sb.info, e)
+		if obj == nil {
+			return
+		}
+		obj = sb.spawnObject(obj)
+		if !seen[obj] {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+	}
+	ast.Inspect(sb.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			record(n.Chan)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := sb.info.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(n.Args) == 1 {
+					record(n.Args[0])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// spawnerConsumesChannel reports whether the spawner receives from or
+// ranges over the given channel object downstream of the go statement.
+func spawnerConsumesChannel(pkg *Package, cfg *CFG, gs *ast.GoStmt, ch types.Object) bool {
+	if cfg == nil {
+		return false
+	}
+	isRecv := func(n ast.Node) bool {
+		if n == gs {
+			return false // the spawn itself
+		}
+		// A bare channel-typed expression as a block node is a
+		// range-over-channel header (the CFG records range headers as
+		// their X expression).
+		if e, ok := n.(ast.Expr); ok && objectOf(pkg.Info, e) == ch {
+			if t := pkg.Info.TypeOf(e); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					return true
+				}
+			}
+		}
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW && objectOf(pkg.Info, m.X) == ch {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	return stmtReachesStmt(cfg, func(n ast.Node) bool { return n == gs }, isRecv)
+}
+
+// stmtReachesStmt reports whether some statement matching `from` reaches
+// a statement matching `to` on the CFG: in the same block with from
+// ordered first, or in a block from which to's block is reachable.
+func stmtReachesStmt(cfg *CFG, from, to func(ast.Node) bool) bool {
+	type loc struct {
+		block *Block
+		idx   int
+	}
+	var froms, tos []loc
+	for _, b := range cfg.Blocks {
+		for i, s := range b.Stmts {
+			if from(s) {
+				froms = append(froms, loc{b, i})
+			}
+			if to(s) {
+				tos = append(tos, loc{b, i})
+			}
+		}
+	}
+	for _, f := range froms {
+		for _, t := range tos {
+			if f.block == t.block {
+				if f.idx < t.idx {
+					return true
+				}
+				continue
+			}
+			if reachable(f.block, t.block) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// objectOf resolves a simple expression (identifier or field selector) to
+// its declaration object, or nil.
+func objectOf(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotAllocAnalyzer proves the repository's 0-alloc steady-state contract
+// statically. PR 3 rebuilt the evaluation hot path to 0 allocs/op and the
+// benchmarks assert it dynamically, but a stray fmt.Sprintf or closure in
+// a future change only shows up when someone re-reads the bench table.
+// This analyzer makes the contract a build gate: a function annotated
+//
+//	//oftec:hotpath
+//
+// must not allocate, and the obligation propagates through the module
+// call graph to every statically reachable callee. A callee that is a
+// sanctioned cold or amortized path (factorization on a cache miss, error
+// construction, result materialization) is annotated
+//
+//	//oftec:allocok <reason>
+//
+// which stops propagation at that boundary; individual amortized sites
+// inside a hot function (a generation-rotation make) carry a reasoned
+// //lint:ignore hotalloc instead.
+//
+// Flagged constructs: make/new/append, composite literals that create
+// heap-backed storage (&T{...}, slice and map literals), the fmt print
+// family, string concatenation, interface boxing at call boundaries
+// (passing a non-pointer-shaped concrete value where an interface is
+// expected), closures that capture enclosing variables, and go
+// statements. Calls that the type checker cannot resolve statically
+// (interface methods, function values) propagate nothing — the dispatch
+// itself is allocation-free, and the dynamic callee is outside what a
+// static obligation can reach.
+var HotAllocAnalyzer = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "flags allocations in //oftec:hotpath functions and everything they can reach",
+	RunModule: runHotAlloc,
+}
+
+func runHotAlloc(pass *ModulePass) {
+	graph := pass.Graph()
+
+	// Directive hygiene: allocok without a reason is itself a finding,
+	// exactly like a reasonless //lint:ignore.
+	nodes := sortedNodes(graph)
+	for _, node := range nodes {
+		if node.Directives.allocok && node.Directives.allocokReason == "" {
+			pass.Reportf(node.Decl.Pos(), "//oftec:allocok directive without a reason: want //oftec:allocok <reason>")
+		}
+	}
+
+	// Propagate the no-alloc obligation from every //oftec:hotpath root
+	// through static call edges, stopping at //oftec:allocok callees.
+	type obligation struct {
+		node *CallNode
+		root *types.Func
+	}
+	obligated := map[*types.Func]*obligation{}
+	var queue []*obligation
+	for _, node := range nodes {
+		if node.Directives.hotpath {
+			ob := &obligation{node: node, root: node.Fn}
+			obligated[node.Fn] = ob
+			queue = append(queue, ob)
+		}
+	}
+	for len(queue) > 0 {
+		ob := queue[0]
+		queue = queue[1:]
+		for _, edge := range ob.node.Calls {
+			callee, ok := graph.Nodes[edge.Callee]
+			if !ok {
+				continue // no body in this module: stdlib or declared elsewhere
+			}
+			if _, seen := obligated[callee.Fn]; seen {
+				continue
+			}
+			if callee.Directives.allocok {
+				continue
+			}
+			next := &obligation{node: callee, root: ob.root}
+			obligated[callee.Fn] = next
+			queue = append(queue, next)
+		}
+	}
+
+	var obs []*obligation
+	for _, ob := range obligated {
+		obs = append(obs, ob)
+	}
+	sort.Slice(obs, func(i, j int) bool { return obs[i].node.Decl.Pos() < obs[j].node.Decl.Pos() })
+	for _, ob := range obs {
+		where := "hot-path function " + funcDisplayName(ob.node.Fn)
+		if ob.node.Fn != ob.root {
+			where = funcDisplayName(ob.node.Fn) + " (hot path via //oftec:hotpath on " + funcDisplayName(ob.root) + ")"
+		}
+		scanAllocs(pass, ob.node, where)
+	}
+}
+
+// scanAllocs reports every allocating construct in one obligated function
+// body, including inside nested function literals (which execute on the
+// same path here — and whose creation, when they capture, is itself
+// flagged).
+func scanAllocs(pass *ModulePass, node *CallNode, where string) {
+	info := node.Pkg.Info
+	reportedLit := map[*ast.CompositeLit]bool{}
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "%s: go statement allocates a goroutine", where)
+
+		case *ast.UnaryExpr:
+			if lit, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+				reportedLit[lit] = true
+				pass.Reportf(n.Pos(), "%s: &%s composite literal escapes to the heap", where, typeLabel(info, lit))
+			}
+
+		case *ast.CompositeLit:
+			if reportedLit[n] {
+				return true
+			}
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "%s: slice literal allocates", where)
+			case *types.Map:
+				pass.Reportf(n.Pos(), "%s: map literal allocates", where)
+			}
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(info, n) && !isConstExpr(info, n) {
+				pass.Reportf(n.Pos(), "%s: string concatenation allocates", where)
+			}
+
+		case *ast.FuncLit:
+			if captured := capturedVars(info, node.Decl, n); len(captured) > 0 {
+				pass.Reportf(n.Pos(), "%s: closure captures %s by reference; allocates", where, strings.Join(captured, ", "))
+			}
+
+		case *ast.CallExpr:
+			reportCallAllocs(pass, info, n, where)
+		}
+		return true
+	})
+}
+
+// reportCallAllocs flags allocating builtins, the fmt print family, and
+// interface boxing at the call boundary.
+func reportCallAllocs(pass *ModulePass, info *types.Info, call *ast.CallExpr, where string) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				pass.Reportf(call.Pos(), "%s: %s allocates", where, b.Name())
+			}
+			return
+		}
+	}
+	if callee := staticCallee(info, call); callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		name := callee.Name()
+		if strings.Contains(name, "rint") || name == "Errorf" || name == "Sprint" || name == "Sprintf" || name == "Sprintln" {
+			pass.Reportf(call.Pos(), "%s: fmt.%s allocates", where, name)
+			return // boxing into fmt's ...any variadic is subsumed
+		}
+	}
+
+	// Interface boxing: a concrete, non-pointer-shaped argument passed
+	// where the signature expects an interface is wrapped in a freshly
+	// allocated interface value.
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return // conversion, not a call
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || pointerShaped(at) || isUntypedNil(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "%s: argument boxes %s into %s; allocates", where, at.String(), pt.String())
+	}
+}
+
+// pointerShaped reports whether values of t are stored directly in an
+// interface word (pointers, channels, maps, functions, unsafe pointers) —
+// conversions of those to interface types do not allocate.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConstExpr reports whether the expression folds to a constant — the
+// compiler materializes those at build time, no runtime allocation.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil && tv.Value.Kind() != constant.Unknown
+}
+
+// capturedVars lists the enclosing function's local variables (parameters,
+// receivers, locals) that a function literal references — captures force
+// the closure (and the captured slots) onto the heap.
+func capturedVars(info *types.Info, encl *ast.FuncDecl, lit *ast.FuncLit) []string {
+	seen := map[string]bool{}
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		if pos < encl.Pos() || pos >= encl.End() {
+			return true // package-level or other-function variable
+		}
+		if pos >= lit.Pos() && pos < lit.End() {
+			return true // the literal's own parameter or local
+		}
+		if !seen[v.Name()] {
+			seen[v.Name()] = true
+			out = append(out, v.Name())
+		}
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// typeLabel renders a composite literal's type for diagnostics.
+func typeLabel(info *types.Info, lit *ast.CompositeLit) string {
+	if t := info.TypeOf(lit); t != nil {
+		s := t.String()
+		if i := strings.LastIndex(s, "/"); i >= 0 {
+			s = s[i+1:]
+		}
+		return s
+	}
+	return "composite"
+}
+
+// sortedNodes returns the call graph's nodes in source-position order so
+// module-level reports are deterministic.
+func sortedNodes(g *CallGraph) []*CallNode {
+	nodes := make([]*CallNode, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Decl.Pos() < nodes[j].Decl.Pos() })
+	return nodes
+}

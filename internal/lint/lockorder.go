@@ -1,0 +1,484 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer guards the repository's locking discipline, which the
+// -race runs in scripts/check.sh can only probe dynamically. It derives
+// the mutex-acquisition partial order across the whole module — the
+// evaluation cache's Cache.mu, the backend registry's RWMutex, the
+// thermal model's factor/version/memo locks, and every other
+// sync.Mutex/RWMutex — and reports:
+//
+//   - lock-order cycles: lock B acquired while holding A on one path and
+//     A acquired while holding B on another (a latent AB/BA deadlock);
+//   - double acquisition: re-acquiring a mutex already held on the same
+//     control-flow path (sync mutexes are not reentrant);
+//   - unbalanced paths: a Lock with no matching Unlock (explicit or
+//     deferred) on some CFG path to the function's exit.
+//
+// Locks are identified by their declaration object — the struct field or
+// variable — so every instance of Cache.mu is one lock in the order. The
+// analysis walks each function's CFG with a per-path held set; calls that
+// resolve statically propagate the callee's (transitive) acquisition
+// summary, so an order edge through a helper is still seen. Function
+// literals are analyzed as independent functions: a goroutine body must
+// balance its own locks. Paths that end in panic or a blocking select
+// never reach the exit and carry no release obligation.
+var LockOrderAnalyzer = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "derives the mutex-acquisition partial order; flags cycles, double acquisition, and unbalanced Lock/Unlock paths",
+	RunModule: runLockOrder,
+}
+
+// lockID is the canonical identity of one mutex: the types.Var of the
+// field or variable holding it, plus a stable display name.
+type lockID struct {
+	obj     types.Object
+	display string
+}
+
+// lockOp is one mutex operation or one outgoing static call, in source
+// order within a statement.
+type lockOp struct {
+	kind   string // "lock", "unlock", "call"
+	id     *lockID
+	callee *types.Func
+	pos    token.Pos
+	defer_ bool
+}
+
+// lockUnit is one analyzable body: a function declaration or a function
+// literal.
+type lockUnit struct {
+	name string
+	fn   *types.Func // nil for literals
+	body *ast.BlockStmt
+	pkg  *Package
+}
+
+type lockOrderState struct {
+	pass  *ModulePass
+	ids   map[types.Object]*lockID
+	units []lockUnit
+	// summary maps a declared function to the set of locks it (or any
+	// statically reachable callee) may acquire.
+	summary map[*types.Func]map[*lockID]token.Pos
+	// edges[a][b] holds the first position where b was acquired while a
+	// was held.
+	edges map[*lockID]map[*lockID]token.Pos
+}
+
+func runLockOrder(pass *ModulePass) {
+	st := &lockOrderState{
+		pass:    pass,
+		ids:     map[types.Object]*lockID{},
+		summary: map[*types.Func]map[*lockID]token.Pos{},
+		edges:   map[*lockID]map[*lockID]token.Pos{},
+	}
+
+	graph := pass.Graph()
+	nodes := sortedNodes(graph)
+	for _, node := range nodes {
+		st.units = append(st.units, lockUnit{
+			name: funcDisplayName(node.Fn),
+			fn:   node.Fn,
+			body: node.Decl.Body,
+			pkg:  node.Pkg,
+		})
+		// Function literals become their own units; their lock traffic is
+		// excluded from the enclosing function's walk (they run later, on
+		// whatever goroutine invokes them).
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				st.units = append(st.units, lockUnit{
+					name: funcDisplayName(node.Fn) + " literal",
+					body: lit.Body,
+					pkg:  node.Pkg,
+				})
+			}
+			return true
+		})
+	}
+
+	// Acquisition summaries to a fixed point over the call graph, so "g
+	// locks B" is visible at every call site of g.
+	for _, u := range st.units {
+		if u.fn == nil {
+			continue
+		}
+		acq := map[*lockID]token.Pos{}
+		for _, op := range st.blockOps(u.pkg, bodyStmts(u.body)) {
+			if op.kind == "lock" {
+				if _, ok := acq[op.id]; !ok {
+					acq[op.id] = op.pos
+				}
+			}
+		}
+		st.summary[u.fn] = acq
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range nodes {
+			acq := st.summary[node.Fn]
+			for _, edge := range node.Calls {
+				for id, pos := range st.summary[edge.Callee] {
+					if _, ok := acq[id]; !ok {
+						acq[id] = pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, u := range st.units {
+		st.walkUnit(u)
+	}
+	st.reportCycles()
+}
+
+// bodyStmts flattens a block into the statement list the op extractor
+// consumes (used for the flow-insensitive summary pass only).
+func bodyStmts(body *ast.BlockStmt) []ast.Node {
+	if body == nil {
+		return nil
+	}
+	out := make([]ast.Node, len(body.List))
+	for i, s := range body.List {
+		out[i] = s
+	}
+	return out
+}
+
+// blockOps extracts the mutex operations and static calls from a list of
+// statements (or expressions) in source order, without descending into
+// nested function literals.
+func (st *lockOrderState) blockOps(pkg *Package, stmts []ast.Node) []lockOp {
+	var ops []lockOp
+	var scan func(n ast.Node, inDefer bool)
+	scan = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				scan(m.Call, true)
+				return false
+			case *ast.CallExpr:
+				if op, ok := st.mutexOp(pkg, m, inDefer); ok {
+					ops = append(ops, op)
+					return true
+				}
+				if callee := staticCallee(pkg.Info, m); callee != nil {
+					ops = append(ops, lockOp{kind: "call", callee: callee, pos: m.Pos(), defer_: inDefer})
+				}
+			}
+			return true
+		})
+	}
+	for _, s := range stmts {
+		scan(s, false)
+	}
+	return ops
+}
+
+// mutexOp recognizes x.Lock/RLock/Unlock/RUnlock calls on
+// sync.Mutex/RWMutex (including promoted methods of embedded mutexes) and
+// resolves the lock identity.
+func (st *lockOrderState) mutexOp(pkg *Package, call *ast.CallExpr, inDefer bool) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	callee, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	var kind string
+	switch callee.Name() {
+	case "Lock", "RLock":
+		kind = "lock"
+	case "Unlock", "RUnlock":
+		kind = "unlock"
+	default:
+		return lockOp{}, false
+	}
+	id := st.lockIdentity(pkg, sel.X)
+	if id == nil {
+		return lockOp{}, false
+	}
+	return lockOp{kind: kind, id: id, pos: call.Pos(), defer_: inDefer}, true
+}
+
+// lockIdentity resolves the receiver expression of a mutex method call to
+// the declaration object of the mutex (field or variable).
+func (st *lockOrderState) lockIdentity(pkg *Package, x ast.Expr) *lockID {
+	x = ast.Unparen(x)
+	var obj types.Object
+	display := ""
+	switch x := x.(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[x]
+		display = x.Name
+		if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			// Package-level variable: qualify for cross-package clarity.
+			display = pkg.Types.Name() + "." + x.Name
+		}
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[x.Sel]
+		display = x.Sel.Name
+		if t := pkg.Info.TypeOf(x.X); t != nil {
+			if named := namedOf(t); named != nil {
+				display = named.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+	default:
+		return nil
+	}
+	if obj == nil {
+		return nil
+	}
+	if id, ok := st.ids[obj]; ok {
+		return id
+	}
+	id := &lockID{obj: obj, display: display}
+	st.ids[obj] = id
+	return id
+}
+
+// heldLock is one acquisition on the current path.
+type heldLock struct {
+	id  *lockID
+	pos token.Pos
+}
+
+// walkUnit traverses one function body's CFG with a per-path held set,
+// recording order edges and reporting double acquisition and unbalanced
+// exits.
+func (st *lockOrderState) walkUnit(u lockUnit) {
+	if u.body == nil {
+		return
+	}
+	cfg := BuildCFG(u.body)
+
+	// Deferred unlocks release at every exit.
+	deferred := map[*lockID]bool{}
+	for _, d := range cfg.Defers {
+		if op, ok := st.mutexOp(u.pkg, d.Call, true); ok && op.kind == "unlock" {
+			deferred[op.id] = true
+		}
+	}
+
+	type visitKey struct {
+		block *Block
+		sig   string
+	}
+	visited := map[visitKey]bool{}
+	reported := map[token.Pos]bool{}
+
+	sigOf := func(held []heldLock) string {
+		names := make([]string, len(held))
+		for i, h := range held {
+			names[i] = h.id.display
+		}
+		sort.Strings(names)
+		return strings.Join(names, "|")
+	}
+
+	var walk func(b *Block, held []heldLock)
+	walk = func(b *Block, held []heldLock) {
+		key := visitKey{b, sigOf(held)}
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+
+		for _, stmt := range b.Stmts {
+			for _, op := range st.blockOps(u.pkg, []ast.Node{stmt}) {
+				switch op.kind {
+				case "lock":
+					if op.defer_ {
+						continue // defer mu.Lock() — pathological, skip
+					}
+					dup := false
+					for _, h := range held {
+						if h.id == op.id {
+							dup = true
+						} else {
+							st.addEdge(h.id, op.id, op.pos)
+						}
+					}
+					if dup {
+						if !reported[op.pos] {
+							reported[op.pos] = true
+							st.pass.Reportf(op.pos, "%s re-acquires %s already held on this path (sync mutexes are not reentrant)", u.name, op.id.display)
+						}
+						continue
+					}
+					held = append(held[:len(held):len(held)], heldLock{id: op.id, pos: op.pos})
+				case "unlock":
+					if op.defer_ {
+						continue // applied at exit via the deferred set
+					}
+					for i, h := range held {
+						if h.id == op.id {
+							held = append(held[:i:i], held[i+1:]...)
+							break
+						}
+					}
+				case "call":
+					for acq, apos := range st.summary[op.callee] {
+						_ = apos
+						for _, h := range held {
+							if h.id == acq {
+								if !reported[op.pos] {
+									reported[op.pos] = true
+									st.pass.Reportf(op.pos, "%s calls %s while holding %s, which %s acquires (self-deadlock through the call graph)",
+										u.name, edgeCalleeName(op.callee), h.id.display, edgeCalleeName(op.callee))
+								}
+							} else {
+								st.addEdge(h.id, acq, op.pos)
+							}
+						}
+					}
+				}
+			}
+		}
+
+		if b == cfg.Exit {
+			for _, h := range held {
+				if !deferred[h.id] && !reported[h.pos] {
+					reported[h.pos] = true
+					st.pass.Reportf(h.pos, "%s locks %s but does not release it on every return path (missing Unlock or defer Unlock)", u.name, h.id.display)
+				}
+			}
+			return
+		}
+		for _, s := range b.Succs {
+			walk(s, held)
+		}
+	}
+	walk(cfg.Entry, nil)
+}
+
+func (st *lockOrderState) addEdge(from, to *lockID, pos token.Pos) {
+	m := st.edges[from]
+	if m == nil {
+		m = map[*lockID]token.Pos{}
+		st.edges[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = pos
+	}
+}
+
+// reportCycles finds cycles in the acquisition-order digraph and reports
+// each once, at its lexicographically first edge.
+func (st *lockOrderState) reportCycles() {
+	// Deterministic node order.
+	var ids []*lockID
+	seen := map[*lockID]bool{}
+	for from, tos := range st.edges {
+		if !seen[from] {
+			seen[from] = true
+			ids = append(ids, from)
+		}
+		for to := range tos {
+			if !seen[to] {
+				seen[to] = true
+				ids = append(ids, to)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].display < ids[j].display })
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[*lockID]int{}
+	var stack []*lockID
+	reported := map[string]bool{}
+
+	var visit func(id *lockID)
+	visit = func(id *lockID) {
+		color[id] = grey
+		stack = append(stack, id)
+		var tos []*lockID
+		for to := range st.edges[id] {
+			tos = append(tos, to)
+		}
+		sort.Slice(tos, func(i, j int) bool { return tos[i].display < tos[j].display })
+		for _, to := range tos {
+			switch color[to] {
+			case white:
+				visit(to)
+			case grey:
+				// Cycle: stack from `to` onward, closing back to `to`.
+				start := 0
+				for i, s := range stack {
+					if s == to {
+						start = i
+						break
+					}
+				}
+				cycle := append([]*lockID{}, stack[start:]...)
+				st.reportCycle(cycle, reported)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[id] = black
+	}
+	for _, id := range ids {
+		if color[id] == white {
+			visit(id)
+		}
+	}
+}
+
+func (st *lockOrderState) reportCycle(cycle []*lockID, reported map[string]bool) {
+	// Canonical rotation: start at the smallest display name, so the same
+	// cycle found from different entry points reports once.
+	min := 0
+	for i := range cycle {
+		if cycle[i].display < cycle[min].display {
+			min = i
+		}
+	}
+	rot := append(append([]*lockID{}, cycle[min:]...), cycle[:min]...)
+	names := make([]string, 0, len(rot)+1)
+	for _, id := range rot {
+		names = append(names, id.display)
+	}
+	names = append(names, rot[0].display)
+	key := strings.Join(names, "->")
+	if reported[key] {
+		return
+	}
+	reported[key] = true
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "lock-order cycle %s:", strings.Join(names, " -> "))
+	for i, id := range rot {
+		next := rot[(i+1)%len(rot)]
+		pos := st.edges[id][next]
+		fmt.Fprintf(&b, " %s acquired while holding %s at %s;", next.display, id.display, st.pass.fset.Position(pos))
+	}
+	st.pass.Reportf(st.edges[rot[0]][rot[1%len(rot)]], "%s", strings.TrimSuffix(b.String(), ";"))
+}
+
+// edgeCalleeName renders a callee for diagnostics.
+func edgeCalleeName(fn *types.Func) string {
+	if fn == nil {
+		return "?"
+	}
+	return funcDisplayName(fn)
+}

@@ -1,0 +1,106 @@
+// Package goroleak is the fixture for the goroutine-obligation analyzer:
+// a bare spawn with no join, an Add that does not reach the spawn, and a
+// dynamic spawn the analyzer cannot see through are findings; WaitGroup
+// pairing (literal or named worker), context cancellation, and channel
+// joins are the sanctioned patterns.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// leaky spawns with no join or cancellation — the core finding.
+func leaky() {
+	go func() {
+		println("work")
+	}()
+}
+
+// waited is the canonical clean pattern (mirrors parallel.ForEach).
+func waited(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// addAfterSpawn calls Done in the body, but the Add only happens after
+// the spawn on the CFG — the pairing is not provable at launch.
+func addAfterSpawn() {
+	var wg sync.WaitGroup
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Add(1)
+	wg.Wait()
+}
+
+// cancellable watches the context's Done channel — clean.
+func cancellable(ctx context.Context, ticks chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case t := <-ticks:
+				_ = t
+			}
+		}
+	}()
+}
+
+// channelJoin signals completion over a channel the spawner waits on.
+func channelJoin() int {
+	out := make(chan int)
+	go func() {
+		out <- 42
+	}()
+	return <-out
+}
+
+// closeJoin closes a channel the spawner ranges over.
+func closeJoin() int {
+	out := make(chan int)
+	go func() {
+		out <- 1
+		close(out)
+	}()
+	s := 0
+	for v := range out {
+		s += v
+	}
+	return s
+}
+
+// worker is a named goroutine body; Done on the parameter maps back to
+// the WaitGroup passed at the spawn site.
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+func namedWorker() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+var dynamicFn = func() {}
+
+// dynamic spawns through a function value: unprovable, reported.
+func dynamic() {
+	go dynamicFn()
+}
+
+// suppressed parks a fire-and-forget spawn under a reasoned ignore.
+func suppressed() {
+	//lint:ignore goroleak fixture demonstrates a reviewed fire-and-forget
+	go func() {
+		println("logged and accepted")
+	}()
+}

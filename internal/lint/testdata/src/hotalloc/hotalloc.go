@@ -1,0 +1,126 @@
+// Package hotalloc is the fixture for the //oftec:hotpath no-alloc
+// obligation. The memoCache section deliberately mirrors the shape of the
+// thermal model's version/result memo (the path the PR 3 benchmarks pin
+// at 0 allocs/op): the hit path is annotated hot and stays clean, and
+// regressedStore shows exactly what a regression of that contract looks
+// like to the analyzer.
+package hotalloc
+
+import "fmt"
+
+type result struct{ v float64 }
+
+// memoCache mirrors the thermal result memo: load is the 0-alloc hit
+// path, store is the sanctioned amortized path.
+type memoCache struct {
+	memo map[uint64]*result
+}
+
+// load is the memo hit path — must stay allocation-free.
+//
+//oftec:hotpath
+func (c *memoCache) load(k uint64) (*result, bool) {
+	r, ok := c.memo[k]
+	return r, ok
+}
+
+// regressedStore is the deliberate regression: if the memo hit path ever
+// grows a per-call allocation or a fmt call, this is the report it gets.
+//
+//oftec:hotpath
+func (c *memoCache) regressedStore(k uint64, v float64) {
+	c.memo[k] = &result{v: v} // want: &result escapes
+	fmt.Printf("stored %d\n", k)
+}
+
+// amortizedStore shows the sanctioned escape for a single site: the
+// rotation make is amortized, so it carries a reasoned ignore.
+//
+//oftec:hotpath
+func (c *memoCache) amortizedStore(k uint64, r *result) {
+	if len(c.memo) >= 8 {
+		//lint:ignore hotalloc amortized wholesale clear, fixture mirror of the real memo
+		c.memo = make(map[uint64]*result)
+	}
+	c.memo[k] = r
+}
+
+// evaluate is a hot root whose obligation propagates through the call
+// graph: helper is reached and scanned, coldPath is annotated allocok and
+// stops the propagation.
+//
+//oftec:hotpath
+func evaluate(xs []float64) float64 {
+	s := sum(xs)
+	if s < 0 {
+		return coldPath(s)
+	}
+	return s
+}
+
+// sum is clean and reached from evaluate — no findings.
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// coldPath materializes an error-ish message; sanctioned.
+//
+//oftec:allocok cold branch, runs only on invalid input
+func coldPath(s float64) float64 {
+	_ = fmt.Sprintf("negative sum %g", s)
+	return 0
+}
+
+// helperAllocs is reached from hotRoot below, so its allocations are
+// reported with the propagation chain in the message.
+func helperAllocs(n int) []float64 {
+	out := make([]float64, n)
+	return out
+}
+
+//oftec:hotpath
+func hotRoot(n int) []float64 {
+	return helperAllocs(n)
+}
+
+// reasonless is a directive-hygiene finding: allocok without a reason.
+//
+//oftec:allocok
+func reasonless() {}
+
+type sink interface{ consume() }
+
+type intBox int
+
+func (intBox) consume() {}
+
+func accept(s sink) { s.consume() }
+
+// kitchenSink triggers the remaining allocation kinds in one annotated
+// body: go statement, slice and map literals, string concatenation,
+// capturing closure, and interface boxing at a call boundary.
+//
+//oftec:hotpath
+func kitchenSink(name string, b intBox) func() {
+	go func() {}()
+	xs := []float64{1, 2}
+	m := map[string]int{"a": 1}
+	msg := "hello " + name
+	accept(b)
+	_ = xs
+	_ = m
+	_ = msg
+	local := 0
+	return func() { local++ }
+}
+
+// notHot allocates freely: no annotation, no findings.
+func notHot() []float64 {
+	xs := make([]float64, 4)
+	_ = fmt.Sprintf("%v", xs)
+	return xs
+}

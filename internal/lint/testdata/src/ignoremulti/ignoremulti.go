@@ -1,0 +1,66 @@
+// Package ignoremulti is the fixture for directive placement on
+// multi-line statements: a standalone or trailing //lint:ignore covers
+// the statement's whole extent (a finding on a wrapped continuation line
+// is still the same statement), comma lists name several analyzers at
+// once, and a directive above a control-flow header does not blanket the
+// body.
+package ignoremulti
+
+import "errors"
+
+func mayFail(a, b float64) error {
+	if a > b {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// standalone directive above a statement that wraps across lines: the
+// comparison on the continuation line is suppressed too.
+func standaloneExtent(a, b float64) bool {
+	//lint:ignore floatcmp fixture covers the wrapped operand
+	eq := a == b ||
+		b == a
+	return eq
+}
+
+// trailing directive on the first line of a wrapped statement.
+func trailingExtent(a, b float64) bool {
+	eq := a == b || //lint:ignore floatcmp fixture covers the wrapped operand
+		b == a
+	return eq
+}
+
+// comma list: one directive suppresses two analyzers over one statement.
+func commaList(a, b float64) {
+	//lint:ignore floatcmp,errdrop fixture suppresses both findings at once
+	_ = mayFail(boolToF(a == b), b)
+}
+
+// partial list: naming one analyzer leaves the other's finding standing.
+func partialList(a, b float64) {
+	//lint:ignore floatcmp directive names only floatcmp
+	_ = mayFail(boolToF(a == b), b)
+}
+
+// headerNotBlanket: a directive above an if header must not silence the
+// body — only the header line (and the next line) is covered.
+func headerNotBlanket(a, b float64) bool {
+	//lint:ignore floatcmp header comparison is reviewed
+	if a == b {
+		return a == b
+	}
+	return false
+}
+
+// unsuppressed is the plain positive case.
+func unsuppressed(a, b float64) bool {
+	return a == b
+}
+
+func boolToF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

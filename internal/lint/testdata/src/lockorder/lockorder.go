@@ -1,0 +1,108 @@
+// Package lockorder is the fixture for the mutex discipline analyzer:
+// an AB/BA acquisition cycle, a Lock with a return path that skips the
+// Unlock, a re-acquisition of a held mutex, and a call into a function
+// that acquires a mutex the caller already holds. The clean patterns —
+// defer Unlock, strictly nested AB ordering everywhere, function
+// literals balancing their own locks — must stay silent.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// abOrder establishes the edge A→B.
+func abOrder() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// baOrder establishes B→A, closing the cycle with abOrder.
+func baOrder() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// missingUnlock leaks the lock on the early-return path.
+func missingUnlock(cond bool) {
+	muA.Lock()
+	if cond {
+		return
+	}
+	muA.Unlock()
+}
+
+// doubleLock re-acquires a mutex it already holds.
+func doubleLock() {
+	muA.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muA.Unlock()
+}
+
+// helperLocks acquires muB on every call.
+func helperLocks() int {
+	muB.Lock()
+	defer muB.Unlock()
+	return 1
+}
+
+// selfDeadlock calls helperLocks while already holding muB.
+func selfDeadlock() int {
+	muB.Lock()
+	defer muB.Unlock()
+	return helperLocks()
+}
+
+// counter is the clean struct pattern: Lock with defer Unlock.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// branchBalanced unlocks on every path explicitly — clean.
+func (c *counter) branchBalanced(flag bool) int {
+	c.mu.Lock()
+	if flag {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// literalBalances shows a function literal balancing its own lock; the
+// enclosing function holds nothing, so neither unit reports.
+func (c *counter) literalBalances() func() {
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++
+	}
+}
+
+// suppressed parks a known-unbalanced lock under a reasoned ignore.
+func suppressed() {
+	//lint:ignore lockorder fixture demonstrates a reviewed suppression
+	muA.Lock()
+	release()
+}
+
+// release pairs with suppressed's acquisition; from the analyzer's view
+// it is an unlock without a matching lock, which is not reported.
+func release() {
+	muA.Unlock()
+}

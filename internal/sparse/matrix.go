@@ -173,6 +173,8 @@ func (m *CSR) At(i, j int) float64 {
 
 // MulVec computes dst = m·x. dst and x must both have length N and must not
 // alias each other.
+//
+//oftec:hotpath
 func (m *CSR) MulVec(dst, x []float64) {
 	for i := 0; i < m.n; i++ {
 		lo, hi := int(m.rowPtr[i]), int(m.rowPtr[i+1])
@@ -205,6 +207,8 @@ func (m *CSR) Diagonal() []float64 {
 }
 
 // Residual computes dst = b - m·x, returning the infinity norm of dst.
+//
+//oftec:hotpath
 func (m *CSR) Residual(dst, x, b []float64) float64 {
 	m.MulVec(dst, x)
 	var norm float64
@@ -368,6 +372,7 @@ func (m *CSR) Dense() [][]float64 {
 // Vector helpers.
 
 // Dot returns the inner product of a and b.
+//oftec:hotpath
 func Dot(a, b []float64) float64 {
 	var s float64
 	for i := range a {
@@ -377,6 +382,7 @@ func Dot(a, b []float64) float64 {
 }
 
 // Norm2 returns the Euclidean norm of v.
+//oftec:hotpath
 func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
 
 // NormInf returns the infinity norm of v.
@@ -391,6 +397,7 @@ func NormInf(v []float64) float64 {
 }
 
 // AXPY computes y += alpha*x in place.
+//oftec:hotpath
 func AXPY(alpha float64, x, y []float64) {
 	for i := range y {
 		y[i] += alpha * x[i]
@@ -401,6 +408,7 @@ func AXPY(alpha float64, x, y []float64) {
 func Copy(dst, src []float64) { copy(dst, src) }
 
 // Fill sets every element of v to x.
+//oftec:hotpath
 func Fill(v []float64, x float64) {
 	for i := range v {
 		v[i] = x

@@ -194,6 +194,8 @@ func (p *ICPreconditioner) Apply(dst, r []float64) {
 // N). The factor arrays are read-only after construction, so a cached
 // ICPreconditioner is safe for concurrent solves as long as each solve
 // brings its own scratch (see Workspace).
+//
+//oftec:hotpath
 func (p *ICPreconditioner) ApplyScratch(dst, r, scratch []float64) {
 	y := scratch
 	// Forward solve L·y = r (rows of L are sorted with the diagonal last).
@@ -253,6 +255,8 @@ func NewFactorCache(capacity int) *FactorCache {
 // miss. The second return is false when the factorization failed (matrix
 // not SPD enough) — callers then fall back exactly as they would on a
 // fresh NewICPreconditioner error.
+//
+//oftec:allocok amortized O(nnz) factorization on a version miss; hits are lookup-only
 func (c *FactorCache) IC(a *CSR) (*ICPreconditioner, bool) {
 	v := a.Version()
 	if v == 0 {

@@ -403,6 +403,8 @@ func (f *LU) Det() float64 {
 // thermal package. A MarkSymmetric stamp on the matrix skips the
 // per-solve symmetry scan, and SolveOptions.Precond skips the per-solve
 // IC(0) factorization (factorization caching).
+//
+//oftec:allocok returns a freshly allocated solution vector by contract; iteration scratch comes from SolveOptions.Work
 func SolveAuto(a *CSR, b []float64, opts SolveOptions) ([]float64, Stats, error) {
 	const denseLimit = 3000
 

@@ -32,10 +32,11 @@ func BenchmarkAssemble(b *testing.B) {
 	m := benchmarkModel(b)
 	sc := m.getScratch()
 	defer m.putScratch(sc)
+	sc.itec = 1.5
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.assembleInto(sc, 250, m.uniformCurrent(1.5), true, nil)
+		m.assembleInto(sc, 250, sc.uniform, true, nil)
 		if sc.mat.N() != m.n {
 			b.Fatal("bad dimension")
 		}

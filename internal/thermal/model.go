@@ -140,6 +140,15 @@ type evalScratch struct {
 	// EvaluateExact fixed-point scratch (chip-cell sized).
 	chipRHS []float64 // leak-free RHS at the chip nodes
 	tChip   []float64
+
+	// itec is the uniform TEC current the evaluation in flight is running
+	// at; uniform is a closure over it built once when the scratch is
+	// created. Handing sc.uniform to assembleInto instead of
+	// m.uniformCurrent(iTEC) keeps the hot evaluate path free of the
+	// per-call closure allocation (the scratch, and with it the closure,
+	// is pooled).
+	itec    float64
+	uniform func(int) float64
 }
 
 // NewModel assembles the network for the given configuration and dynamic
@@ -529,6 +538,7 @@ func (m *Model) buildSymbolic() error {
 			panic(werr)
 		}
 		sc.mat = mat
+		sc.uniform = func(int) float64 { return sc.itec }
 		return sc
 	}
 	return nil
@@ -542,6 +552,8 @@ const maxVersions = 4096
 
 // versionFor returns the stable matrix value-version for an operating
 // point, minting a fresh one on first sight.
+//
+//oftec:hotpath
 func (m *Model) versionFor(k verKey) uint64 {
 	m.verMu.Lock()
 	defer m.verMu.Unlock()
@@ -549,6 +561,7 @@ func (m *Model) versionFor(k verKey) uint64 {
 		return v
 	}
 	if len(m.vers) >= maxVersions {
+		//lint:ignore hotalloc amortized wholesale clear, at most once per maxVersions hits
 		m.vers = make(map[verKey]uint64)
 	}
 	m.nextVer++
@@ -567,6 +580,8 @@ const maxResults = 256
 // loadResult returns the memoized Result for solution version v. Version 0
 // never has a memory. The pointer is shared, exactly as core's evaluation
 // cache shares results across callers.
+//
+//oftec:hotpath
 func (m *Model) loadResult(v uint64) (*Result, bool) {
 	if v == 0 {
 		return nil, false
@@ -579,6 +594,8 @@ func (m *Model) loadResult(v uint64) (*Result, bool) {
 
 // storeResult memoizes a computed Result (converged or runaway — both are
 // deterministic functions of the operating point) for solution version v.
+//
+//oftec:hotpath
 func (m *Model) storeResult(v uint64, res *Result) {
 	if v == 0 {
 		return
@@ -586,6 +603,7 @@ func (m *Model) storeResult(v uint64, res *Result) {
 	m.resMu.Lock()
 	defer m.resMu.Unlock()
 	if len(m.resMem) >= maxResults {
+		//lint:ignore hotalloc amortized wholesale clear, at most once per maxResults stores
 		m.resMem = make(map[uint64]*Result)
 	}
 	m.resMem[v] = res
@@ -599,6 +617,8 @@ func (m *Model) storeResult(v uint64, res *Result) {
 // to wrong factorization reuse. A nil leakConst with linearLeak=false
 // leaves the leakage out entirely — the exact fixed-point loop patches it
 // into the RHS per iteration.
+//
+//oftec:hotpath
 func (m *Model) assembleInto(sc *evalScratch, omega float64, cur func(int) float64, linearLeak bool, leakConst []float64) {
 	copy(sc.vals, m.baseVals)
 	copy(sc.rhs, m.baseRHS)
@@ -646,6 +666,8 @@ func (m *Model) assembleInto(sc *evalScratch, omega float64, cur func(int) float
 
 // solveScratch runs the sparse solve through the scratch workspace,
 // routing versioned matrices through the shared factorization cache.
+//
+//oftec:hotpath
 func (m *Model) solveScratch(sc *evalScratch, warm []float64) ([]float64, sparse.Stats, error) {
 	opts := sparse.SolveOptions{Tol: 1e-9, MaxIter: 20 * m.n, X0: warm, Work: &sc.ws}
 	if sc.mat.Version() != 0 {
@@ -743,12 +765,14 @@ func (m *Model) Evaluate(omega, iTEC float64) (*Result, error) {
 // the CG iteration count substantially. The warm slice is read, never
 // written; it only steers the iterative solver, so a memoized result for
 // the exact operating point is returned without re-solving either way.
+//
+//oftec:hotpath
 func (m *Model) EvaluateWarm(omega, iTEC float64, warm []float64) (*Result, error) {
 	if err := m.checkOperatingPoint(omega, iTEC); err != nil {
 		return nil, err
 	}
-	if warm != nil && len(warm) != m.n {
-		return nil, fmt.Errorf("thermal: warm start has %d nodes, model has %d", len(warm), m.n)
+	if err := m.checkWarm(warm); err != nil {
+		return nil, err
 	}
 	ver := m.versionFor(verKey{omega: omega, itec: iTEC, linear: true})
 	if res, ok := m.loadResult(ver); ok {
@@ -756,7 +780,8 @@ func (m *Model) EvaluateWarm(omega, iTEC float64, warm []float64) (*Result, erro
 	}
 	sc := m.getScratch()
 	defer m.putScratch(sc)
-	m.assembleInto(sc, omega, m.uniformCurrent(iTEC), true, nil)
+	sc.itec = iTEC
+	m.assembleInto(sc, omega, sc.uniform, true, nil)
 	sc.mat.SetVersion(ver)
 	if warm == nil {
 		sparse.Fill(sc.warm, m.cfg.Ambient)
@@ -805,7 +830,8 @@ func (m *Model) EvaluateExact(omega, iTEC float64) (*Result, error) {
 	// vanishes); the contraction is much faster, and each refresh touches
 	// only the n_chip RHS entries. Inner solves warm-start from the
 	// previous iterate.
-	m.assembleInto(sc, omega, m.uniformCurrent(iTEC), true, nil)
+	sc.itec = iTEC
+	m.assembleInto(sc, omega, sc.uniform, true, nil)
 	sc.mat.SetVersion(m.versionFor(verKey{omega: omega, itec: iTEC, linear: true}))
 	nc := m.grids[planeChip].NumCells()
 	for i := 0; i < nc; i++ {
@@ -862,6 +888,7 @@ func (m *Model) EvaluateExact(omega, iTEC float64) (*Result, error) {
 	return res, nil
 }
 
+//oftec:allocok cold validation path; error values are built only on caller misuse
 func (m *Model) checkOperatingPoint(omega, iTEC float64) error {
 	if math.IsNaN(omega) || math.IsNaN(iTEC) {
 		return fmt.Errorf("thermal: operating point (ω=%g, I=%g) contains NaN", omega, iTEC)
@@ -871,6 +898,16 @@ func (m *Model) checkOperatingPoint(omega, iTEC float64) error {
 	}
 	if iTEC < 0 {
 		return fmt.Errorf("thermal: TEC current I=%g must be non-negative", iTEC)
+	}
+	return nil
+}
+
+// checkWarm validates an optional warm-start field's length.
+//
+//oftec:allocok cold validation path; error values are built only on caller misuse
+func (m *Model) checkWarm(warm []float64) error {
+	if warm != nil && len(warm) != m.n {
+		return fmt.Errorf("thermal: warm start has %d nodes, model has %d", len(warm), m.n)
 	}
 	return nil
 }

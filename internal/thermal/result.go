@@ -60,6 +60,8 @@ func (r *Result) String() string {
 }
 
 // runawayResult builds the infinite-objective result for a runaway point.
+//
+//oftec:allocok result materialization; runs once per miss, then memoized by version
 func (m *Model) runawayResult(omega, iTEC float64, stats sparse.Stats) *Result {
 	return &Result{
 		Omega:       omega,
@@ -99,6 +101,9 @@ func (m *Model) tecPowerFunc(t []float64, cur func(int) float64) float64 {
 	return p
 }
 
+// buildResult materializes the Result record for a converged solve.
+//
+//oftec:allocok result materialization; runs once per miss, then memoized by version
 func (m *Model) buildResult(omega, iTEC float64, t []float64, stats sparse.Stats, linearLeak bool) *Result {
 	nc := m.grids[planeChip].NumCells()
 	res := &Result{

@@ -52,12 +52,26 @@ awk '
 
 jq -s 'map({(.name): del(.name)}) | add' "$parsed" >"$current"
 
+# Lint wall time: how long the full ten-analyzer oftecvet sweep takes
+# over the module, compiled first so the number is pure analysis (load +
+# type-check + analyzers), not go-build time. scripts/check.sh enforces
+# the budget; this records the trajectory next to the solver numbers.
+echo "== oftecvet wall time (full module, ten analyzers)"
+vetbin="$(mktemp)"
+go build -o "$vetbin" ./cmd/oftecvet
+lint_start=$(date +%s%N)
+"$vetbin" ./...
+lint_ms=$(( ($(date +%s%N) - lint_start) / 1000000 ))
+rm -f "$vetbin"
+echo "   oftecvet: ${lint_ms} ms"
+
 # The baseline block is the pre-optimization state of this repository
 # (Builder assembly per evaluation, fresh IC(0) per solve, no scratch
 # reuse), measured with benchtime 2s on the reference container. It is
 # frozen so every future run compares against the same origin.
 jq -n \
 	--arg benchtime "$BENCHTIME" \
+	--argjson lint_ms "$lint_ms" \
 	--slurpfile current "$current" \
 	'
 	{
@@ -70,6 +84,7 @@ jq -n \
 		benchtime: $benchtime,
 		baseline: $baseline,
 		current: $cur,
+		lint: {wall_ms: $lint_ms},
 		speedup: ($baseline | to_entries
 			| map(select($cur[.key] != null)
 				| {key: .key, value: {

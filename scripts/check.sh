@@ -15,8 +15,31 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go run ./cmd/oftecvet ./..."
-go run ./cmd/oftecvet ./...
+# Project static analysis, gated against the committed baseline. The
+# baseline exists so a finding introduced by an upstream change can be
+# parked deliberately mid-stack, but it must be empty at merge: the gate
+# refuses to pass while entries are still present.
+echo "== lint baseline must be empty"
+if [ "$(jq 'length' lint_baseline.json)" != "0" ]; then
+	echo "check.sh: lint_baseline.json has parked findings; fix them and empty the baseline" >&2
+	jq . lint_baseline.json >&2
+	exit 1
+fi
+
+echo "== go run ./cmd/oftecvet -baseline lint_baseline.json ./..."
+vet_start=$(date +%s)
+go run ./cmd/oftecvet -baseline lint_baseline.json ./...
+vet_wall=$(( $(date +%s) - vet_start ))
+
+# Self runtime budget: the suite runs on every gate, so it has to stay
+# cheap. The budget is ~10× the current cost (compile of cmd/oftecvet
+# plus a few seconds of analysis); tripping it means an analyzer
+# regressed algorithmically or the module outgrew the parallel loader.
+if [ "$vet_wall" -gt 60 ]; then
+	echo "check.sh: oftecvet took ${vet_wall}s, over the 60s self-runtime budget" >&2
+	exit 1
+fi
+echo "   oftecvet wall time: ${vet_wall}s (budget 60s)"
 
 # The concurrency surface first and by name, so a race in the evaluation
 # cache or the fan-out engine fails fast and unambiguously even if the
