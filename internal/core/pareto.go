@@ -58,8 +58,16 @@ func (s *System) ParetoFront(tmaxValues []float64, opts Options) ([]ParetoPoint,
 		return s.paretoSerial(sorted, opts)
 	}
 
+	// The probe fan-out runs under the solver context when the caller set
+	// one (service request deadlines): cancellation stops dispatching new
+	// thresholds, and each in-flight Run already honors the same context
+	// at its iteration boundaries.
+	ctx := opts.Solver.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]ParetoPoint, len(sorted))
-	err := parallel.ForEach(context.Background(), len(sorted), workers, func(i int) error {
+	err := parallel.ForEach(ctx, len(sorted), workers, func(i int) error {
 		tmax := sorted[i]
 		o := opts
 		o.TMax = tmax
@@ -102,6 +110,11 @@ func (s *System) paretoSerial(sorted []float64, opts Options) ([]ParetoPoint, er
 	out := make([]ParetoPoint, 0, len(sorted))
 	infeasibleBelow := false
 	for _, tmax := range sorted {
+		if ctx := opts.Solver.Ctx; ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		pt := ParetoPoint{TMax: tmax}
 		if !infeasibleBelow {
 			o := opts

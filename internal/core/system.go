@@ -162,10 +162,24 @@ type System struct {
 	selMu      sync.Mutex
 	selections map[string]selection
 
+	// zoned memoizes zoned bindings per (backend, zoning), so repeated
+	// zoned runs and evaluations — every optimize request a service
+	// answers for the same chip and zoning — share one cache key space
+	// instead of opening a fresh one per call.
+	zonedMu sync.Mutex
+	zoned   map[zonedKey]*evalcache.Binding
+
 	// solveHook, when non-nil, runs immediately before each underlying
 	// scalar backend solve — i.e. exactly once per deduplicated cache
 	// miss. Test instrumentation only; set before any traffic.
 	solveHook func(omega, itec float64)
+}
+
+// zonedKey identifies one memoized zoned binding: the Options.Backend
+// name it was resolved under and the zoning identity.
+type zonedKey struct {
+	backend string
+	zoning  *thermal.Zoning
 }
 
 type selection struct {
@@ -181,6 +195,23 @@ type CacheStats = evalcache.Stats
 // NewSystem wraps a thermal backend (see backend.FromModel / backend.New).
 func NewSystem(ev backend.Evaluator) *System { return newSystemCap(ev, 0) }
 
+// NewSystemShared wraps a backend over a caller-owned evaluation cache,
+// so several Systems — one per chip configuration in a model pool — share
+// one bounded cache, one eviction budget, and one set of traffic
+// statistics, and cross-System duplicate operating points coalesce. The
+// cache's solve hook is left untouched (the owner may have metrics
+// attached); the per-System solveHook test seam is inert on shared
+// systems.
+func NewSystemShared(ev backend.Evaluator, cache *evalcache.Cache) *System {
+	return &System{
+		ev:         ev,
+		cache:      cache,
+		scalar:     cache.Bind(ev),
+		selections: map[string]selection{},
+		zoned:      map[zonedKey]*evalcache.Binding{},
+	}
+}
+
 // newSystemCap is NewSystem with an explicit per-generation cache
 // capacity; zero selects the default. Tests use small capacities to
 // exercise eviction.
@@ -189,6 +220,7 @@ func newSystemCap(ev backend.Evaluator, capacity int) *System {
 		ev:         ev,
 		cache:      evalcache.New(capacity),
 		selections: map[string]selection{},
+		zoned:      map[zonedKey]*evalcache.Binding{},
 	}
 	s.cache.SetSolveHook(func(op backend.OpPoint) {
 		if h := s.solveHook; h != nil && op.K() == 1 {
@@ -224,6 +256,63 @@ func (s *System) Evaluate(omega, itec float64) (*thermal.Result, error) {
 // written.
 func (s *System) EvaluateWarm(omega, itec float64, warm []float64) (*thermal.Result, error) {
 	return s.scalar.Evaluate(context.Background(), backend.Scalar(omega, itec), warm)
+}
+
+// EvaluateWarmContext is EvaluateWarm bounded by a caller context (see
+// EvaluateContext for the cancellation semantics).
+func (s *System) EvaluateWarmContext(ctx context.Context, omega, itec float64, warm []float64) (*thermal.Result, error) {
+	return s.scalar.Evaluate(ctx, backend.Scalar(omega, itec), warm)
+}
+
+// EvaluateContext is Evaluate bounded by a caller context: a cancelled
+// ctx releases coalesced waiters immediately (the leader's solve runs to
+// completion for the benefit of other callers). Service request paths use
+// this so a client deadline never wedges a handler on someone else's
+// solve.
+func (s *System) EvaluateContext(ctx context.Context, omega, itec float64) (*thermal.Result, error) {
+	return s.scalar.Evaluate(ctx, backend.Scalar(omega, itec), nil)
+}
+
+// EvaluateZonedContext evaluates a zoned operating point (one current per
+// zone) through the shared cache under a caller context. The binding for
+// each zoning is memoized, so repeated calls with one zoning — a service
+// answering many requests for the same chip — share one cache key space
+// and coalesce duplicates.
+func (s *System) EvaluateZonedContext(ctx context.Context, zoning *thermal.Zoning, omega float64, currents []float64) (*thermal.Result, error) {
+	bnd, err := s.zonedBinding("", zoning)
+	if err != nil {
+		return nil, err
+	}
+	return bnd.Evaluate(ctx, backend.OpPoint{Omega: omega, Currents: currents}, nil)
+}
+
+// zonedBinding resolves (backend name, zoning) to its cached evaluator,
+// memoized for the System's lifetime.
+func (s *System) zonedBinding(name string, zoning *thermal.Zoning) (*evalcache.Binding, error) {
+	if zoning == nil {
+		return nil, fmt.Errorf("core: zoned evaluation needs a zoning")
+	}
+	zk := zonedKey{backend: name, zoning: zoning}
+	s.zonedMu.Lock()
+	defer s.zonedMu.Unlock()
+	if bnd, ok := s.zoned[zk]; ok {
+		return bnd, nil
+	}
+	sel, err := s.binding(name)
+	if err != nil {
+		return nil, err
+	}
+	zoner, ok := sel.ev.(backend.Zoner)
+	if !ok {
+		return nil, fmt.Errorf("core: backend %q cannot evaluate zoned operating points", sel.ev.Name())
+	}
+	zev, err := zoner.WithZoning(zoning)
+	if err != nil {
+		return nil, err
+	}
+	bnd := s.cache.Bind(zev)
+	s.zoned[zk] = bnd
+	return bnd, nil
 }
 
 // binding resolves an Options.Backend name to a cached evaluator: the

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"oftec/internal/evalcache"
 )
 
 // These tests pin the two concurrency contracts of the evaluation cache:
@@ -198,5 +201,74 @@ func TestCacheStatsAccounting(t *testing.T) {
 	want := CacheStats{Hits: 1, Misses: 2}
 	if stats != want {
 		t.Errorf("stats = %+v, want %+v", stats, want)
+	}
+}
+
+// TestZonedBindingMemoized pins the service-facing cache contract: two
+// zoned evaluations of one operating point under one zoning share a
+// single key space, so the second is a cache hit, not a fresh miss in a
+// fresh binding (the historical behavior — RunZoned opened a new key
+// space per call, so cross-request zoned traffic never coalesced).
+func TestZonedBindingMemoized(t *testing.T) {
+	s := benchSystem(t, "CRC32")
+	m := testModelOf(t, s)
+	assign, nz := ClusterZones()
+	z, err := m.NewZoning(assign, nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	cur := []float64{1, 0.5, 2}
+	before := s.CacheStats()
+	r1, err := s.EvaluateZonedContext(ctx, z, 300, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.EvaluateZonedContext(ctx, z, 300, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("repeated zoned evaluation did not share one cache entry")
+	}
+	d := s.CacheStats()
+	if d.Misses-before.Misses != 1 || d.Hits-before.Hits != 1 {
+		t.Errorf("stats delta = %+v vs %+v, want exactly 1 miss + 1 hit", d, before)
+	}
+
+	// RunZoned must reuse the same memoized binding: its evaluation of
+	// the same zoning shares cache state with the direct path.
+	if bnd, err := s.zonedBinding("", z); err != nil {
+		t.Fatal(err)
+	} else if bnd2, err2 := s.zonedBinding("", z); err2 != nil || bnd != bnd2 {
+		t.Errorf("zonedBinding not memoized: %p vs %p (err %v)", bnd, bnd2, err2)
+	}
+}
+
+// TestSharedCacheSystems pins NewSystemShared: two systems bound to one
+// cache share capacity and statistics, while their coincident operating
+// points stay isolated in separate key spaces.
+func TestSharedCacheSystems(t *testing.T) {
+	cache := evalcache.New(0)
+	a := NewSystemShared(benchSystem(t, "CRC32").Backend(), cache)
+	b := NewSystemShared(benchSystem(t, "FFT").Backend(), cache)
+
+	ra, err := a.Evaluate(300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Evaluate(300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra == rb {
+		t.Error("two chips' coincident operating points aliased one entry")
+	}
+	if s := cache.Stats(); s.Misses != 2 {
+		t.Errorf("shared stats = %+v, want 2 misses pooled in one counter", s)
+	}
+	if got, want := a.CacheStats(), b.CacheStats(); got != want {
+		t.Errorf("shared cache reports different stats per system: %+v vs %+v", got, want)
 	}
 }

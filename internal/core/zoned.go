@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"oftec/internal/backend"
 	"oftec/internal/floorplan"
 	"oftec/internal/solver"
 	"oftec/internal/thermal"
@@ -64,19 +63,11 @@ func (s *System) RunZoned(zoning *thermal.Zoning, opts Options) (*ZonedOutcome, 
 	if zoning == nil {
 		return nil, fmt.Errorf("core: RunZoned needs a zoning")
 	}
-	sel, err := s.binding(opts.Backend)
+	bnd, err := s.zonedBinding(opts.Backend, zoning)
 	if err != nil {
 		return nil, err
 	}
-	zoner, ok := sel.ev.(backend.Zoner)
-	if !ok {
-		return nil, fmt.Errorf("core: backend %q cannot evaluate zoned operating points", sel.ev.Name())
-	}
-	zev, err := zoner.WithZoning(zoning)
-	if err != nil {
-		return nil, err
-	}
-	v, err := s.runVector(s.cache.Bind(zev), zoning.NumZones(), opts)
+	v, err := s.runVector(bnd, zoning.NumZones(), opts)
 	if err != nil {
 		return nil, err
 	}

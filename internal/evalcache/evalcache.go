@@ -36,9 +36,11 @@ import (
 // a ~16k-point footprint.
 const DefaultCapacity = 1 << 13
 
-// maxInlineK is the largest zone count that fits the comparable cache
-// key. Operating points with more zones bypass the cache entirely — the
-// zoned optimizer tops out far below this.
+// maxInlineK is the largest zone count whose currents are inlined into
+// the comparable cache key verbatim. Wider points (the high-density TEC
+// regime) are keyed by a 64-bit hash of the full quantized current vector
+// instead, collision-checked against the stored vector on every hit, so
+// dedupe and singleflight coalescing survive arbitrary zone counts.
 const maxInlineK = 8
 
 // Stats counts cache traffic; totals are cumulative for the Cache's
@@ -53,32 +55,73 @@ type Stats struct {
 	Misses int64
 	// Rotations counts generation rotations (bounded evictions).
 	Rotations int64
+	// Collisions counts wide-key (k > 8) hash collisions: two distinct
+	// current vectors mapping to one key. The colliding caller solves
+	// uncached (correctness is never at stake); any nonzero value with
+	// real traffic deserves investigation.
+	Collisions int64
 }
 
 // key identifies one quantized operating point inside one binding's key
-// space. Currents are inlined into a fixed array so the key stays
-// comparable; k disambiguates a scalar point from a zoned point whose
-// trailing zones happen to be zero.
+// space. Up to maxInlineK currents are inlined into a fixed array so the
+// key stays comparable; k disambiguates a scalar point from a zoned point
+// whose trailing zones happen to be zero. Wider points additionally carry
+// a hash of the full quantized vector (the inline array then holds the
+// leading currents), and every lookup on such a key re-verifies the full
+// vector against the stored entry — a collision is detected, never
+// silently served.
 type key struct {
 	space uint64
 	k     int
 	omega float64
 	cur   [maxInlineK]float64
+	hash  uint64
+}
+
+// entry is one completed cached solve. wide holds the full quantized
+// current vector for hash-keyed (k > maxInlineK) points, nil for inline
+// keys; lookups use it as the collision check.
+type entry struct {
+	res  *thermal.Result
+	wide []float64
 }
 
 // inflight is the rendezvous for callers coalesced onto one solve: the
-// leader closes done after filling res/err.
+// leader closes done after filling res/err. wide mirrors entry.wide so
+// coalescing on hashed keys is collision-checked too.
 type inflight struct {
 	done chan struct{}
 	res  *thermal.Result
 	err  error
+	wide []float64
+}
+
+// hashCurrents is the wide-key hash: FNV-1a over the bit patterns of the
+// quantized currents. A package variable so collision tests can force two
+// vectors onto one digest.
+var hashCurrents = fnvCurrents
+
+func fnvCurrents(qs []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, q := range qs {
+		bits := math.Float64bits(q)
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= (bits >> shift) & 0xff
+			h *= prime64
+		}
+	}
+	return h
 }
 
 // Cache is a bounded, concurrency-safe evaluation cache shared by any
 // number of Bindings. The zero value is not usable; call New.
 type Cache struct {
 	mu        sync.Mutex
-	cur, old  map[key]*thermal.Result
+	cur, old  map[key]entry
 	infl      map[key]*inflight
 	capacity  int
 	stats     Stats
@@ -86,7 +129,8 @@ type Cache struct {
 
 	// hook, when non-nil, runs immediately before each underlying
 	// backend Evaluate — i.e. exactly once per deduplicated miss.
-	// Test instrumentation only.
+	// Guarded by mu (read at the top of Evaluate's miss path), so
+	// installation is safe at any time, including mid-traffic.
 	hook func(op backend.OpPoint)
 }
 
@@ -97,16 +141,23 @@ func New(capacity int) *Cache {
 		capacity = DefaultCapacity
 	}
 	return &Cache{
-		cur:      make(map[key]*thermal.Result),
+		cur:      make(map[key]entry),
 		infl:     make(map[key]*inflight),
 		capacity: capacity,
 	}
 }
 
 // SetSolveHook installs a function invoked once per deduplicated miss,
-// outside the cache lock, immediately before the underlying solve. Test
-// instrumentation only; not safe to call concurrently with Evaluate.
-func (c *Cache) SetSolveHook(hook func(op backend.OpPoint)) { c.hook = hook }
+// outside the cache lock, immediately before the underlying solve —
+// instrumentation for tests and service metrics. Safe to call at any
+// time, including concurrently with Evaluate: installation synchronizes
+// on the cache lock, and misses already in their solve keep the hook (or
+// nil) they observed at dispatch.
+func (c *Cache) SetSolveHook(hook func(op backend.OpPoint)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hook = hook
+}
 
 // Stats returns a snapshot of the traffic counters.
 func (c *Cache) Stats() Stats {
@@ -169,30 +220,46 @@ func (b *Binding) Fallthrough() backend.Evaluator { return b.ev }
 //oftec:hotpath
 func (b *Binding) Evaluate(ctx context.Context, op backend.OpPoint, warm []float64) (*thermal.Result, error) {
 	k := op.K()
-	if k == 0 || k > maxInlineK {
-		// Uncacheable shapes pass straight through (validation included):
-		// k=0 is invalid and k>8 doesn't fit the comparable key.
+	if k == 0 {
+		// Invalid shape; pass through so the backend reports it.
 		return b.ev.Evaluate(ctx, op, warm)
 	}
 	ck := key{space: b.space, k: k, omega: quantize(op.Omega)}
-	for i, v := range op.Currents {
-		ck.cur[i] = quantize(v)
+	var wide []float64
+	if k <= maxInlineK {
+		for i, v := range op.Currents {
+			ck.cur[i] = quantize(v)
+		}
+	} else {
+		wide = b.wideKey(&ck, op.Currents)
 	}
 
 	c := b.c
 	c.mu.Lock()
-	if r, ok := c.lookupLocked(ck); ok {
+	if e, ok := c.lookupLocked(ck); ok {
+		if !currentsEqual(e.wide, wide) {
+			// Hash collision: a different vector owns this key. Solve
+			// uncached — never serve or overwrite the incumbent.
+			c.stats.Collisions++
+			c.mu.Unlock()
+			return b.ev.Evaluate(ctx, op, warm)
+		}
 		c.stats.Hits++
 		c.mu.Unlock()
-		return r, nil
+		return e.res, nil
 	}
 	if fl, ok := c.infl[ck]; ok {
+		if !currentsEqual(fl.wide, wide) {
+			c.stats.Collisions++
+			c.mu.Unlock()
+			return b.ev.Evaluate(ctx, op, warm)
+		}
 		c.stats.Waits++
 		c.mu.Unlock()
 		return waitInflight(ctx, fl)
 	}
 	//lint:ignore hotalloc one rendezvous per deduplicated miss; the hit path allocates nothing
-	fl := &inflight{done: make(chan struct{})}
+	fl := &inflight{done: make(chan struct{}), wide: wide}
 	c.infl[ck] = fl
 	c.stats.Misses++
 	hook := c.hook
@@ -206,11 +273,43 @@ func (b *Binding) Evaluate(ctx context.Context, op backend.OpPoint, warm []float
 	c.mu.Lock()
 	delete(c.infl, ck)
 	if fl.err == nil {
-		c.storeLocked(ck, fl.res)
+		c.storeLocked(ck, entry{res: fl.res, wide: wide})
 	}
 	c.mu.Unlock()
 	close(fl.done)
 	return fl.res, fl.err
+}
+
+// wideKey fills ck for a k > maxInlineK point: leading currents inlined,
+// the full quantized vector hashed into ck.hash. It returns the quantized
+// vector, which lookups use as the collision check.
+//
+//oftec:allocok one key vector per wide-point evaluation; wide points always pay a map probe anyway
+func (b *Binding) wideKey(ck *key, currents []float64) []float64 {
+	wide := make([]float64, len(currents))
+	for i, v := range currents {
+		wide[i] = quantize(v)
+	}
+	copy(ck.cur[:], wide)
+	ck.hash = hashCurrents(wide)
+	return wide
+}
+
+// currentsEqual compares two quantized wide vectors; two nils (inline
+// keys) are equal.
+//
+//oftec:hotpath
+func currentsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		//lint:ignore floatcmp key identity is exact by construction — both sides are quantized, and a tolerance would alias neighboring keys
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // waitInflight parks a coalesced caller on the leader's rendezvous,
@@ -234,16 +333,16 @@ func waitInflight(ctx context.Context, fl *inflight) (*thermal.Result, error) {
 // into the current one so the hot working set survives the next rotation.
 //
 //oftec:hotpath
-func (c *Cache) lookupLocked(ck key) (*thermal.Result, bool) {
-	if r, ok := c.cur[ck]; ok {
-		return r, true
+func (c *Cache) lookupLocked(ck key) (entry, bool) {
+	if e, ok := c.cur[ck]; ok {
+		return e, true
 	}
-	if r, ok := c.old[ck]; ok {
+	if e, ok := c.old[ck]; ok {
 		delete(c.old, ck)
-		c.storeLocked(ck, r)
-		return r, true
+		c.storeLocked(ck, e)
+		return e, true
 	}
-	return nil, false
+	return entry{}, false
 }
 
 // storeLocked inserts into the current generation, rotating when full:
@@ -251,14 +350,14 @@ func (c *Cache) lookupLocked(ck key) (*thermal.Result, bool) {
 // most the stale half of the working set.
 //
 //oftec:hotpath
-func (c *Cache) storeLocked(ck key, r *thermal.Result) {
+func (c *Cache) storeLocked(ck key, e entry) {
 	if len(c.cur) >= c.capacity {
 		c.old = c.cur
 		//lint:ignore hotalloc amortized generation rotation, once per capacity inserts
-		c.cur = make(map[key]*thermal.Result, len(c.old))
+		c.cur = make(map[key]entry, len(c.old))
 		c.stats.Rotations++
 	}
-	c.cur[ck] = r
+	c.cur[ck] = e
 }
 
 // quantize rounds an operating coordinate so cache keys are insensitive

@@ -186,20 +186,198 @@ func TestQuantizedHitsAndStats(t *testing.T) {
 	}
 }
 
-func TestOversizedPointsBypass(t *testing.T) {
+// TestOversizedPointsCached is the regression test for the historical
+// k > maxInlineK cache bypass: wide points used to skip the cache (and
+// singleflight) entirely, so every high-zone request burned a full solve.
+// They are now keyed by a collision-checked hash and cache like any other
+// point.
+func TestOversizedPointsCached(t *testing.T) {
 	fake := &fakeEval{}
 	c := New(0)
 	b := c.Bind(fake)
 	ctx := context.Background()
 
 	op := backend.OpPoint{Omega: 100, Currents: make([]float64, maxInlineK+1)}
-	b.Evaluate(ctx, op, nil)
-	b.Evaluate(ctx, op, nil)
-	if n := fake.solves.Load(); n != 2 {
-		t.Errorf("oversized point was cached (%d solves, want 2)", n)
+	for i := range op.Currents {
+		op.Currents[i] = 0.25 * float64(i)
 	}
-	if s := c.Stats(); s != (Stats{}) {
-		t.Errorf("bypass traffic leaked into stats: %+v", s)
+	r1, err := b.Evaluate(ctx, op, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := b.Evaluate(ctx, op, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := fake.solves.Load(); n != 1 {
+		t.Errorf("wide point was not cached (%d solves, want 1)", n)
+	}
+	if r1 != r2 {
+		t.Error("repeat evaluation returned a different result pointer")
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits != 1 || s.Collisions != 0 {
+		t.Errorf("stats = %+v, want 1 miss + 1 hit, no collisions", s)
+	}
+
+	// Distinct wide vectors sharing the leading maxInlineK currents must
+	// not alias: only the tail differs, which the inline array alone could
+	// not distinguish.
+	tail := backend.OpPoint{Omega: 100, Currents: append([]float64(nil), op.Currents...)}
+	tail.Currents[maxInlineK] += 1
+	rt, err := b.Evaluate(ctx, tail, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt == r1 {
+		t.Error("wide points differing only past the inline prefix aliased one entry")
+	}
+}
+
+// TestConcurrentWideMissesCoalesce asserts the ISSUE 7 acceptance bound:
+// M concurrent identical k=16 misses (the high-density-TEC regime) run
+// exactly one backend solve.
+func TestConcurrentWideMissesCoalesce(t *testing.T) {
+	fake := &fakeEval{block: make(chan struct{})}
+	c := New(0)
+	b := c.Bind(fake)
+
+	op := backend.OpPoint{Omega: 310, Currents: make([]float64, 16)}
+	for i := range op.Currents {
+		op.Currents[i] = 0.1 * float64(i+1)
+	}
+
+	const workers = 12
+	var launched, done sync.WaitGroup
+	launched.Add(1)
+	done.Add(workers)
+	results := make([]*thermal.Result, workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			defer done.Done()
+			if i == 0 {
+				launched.Done()
+			} else {
+				launched.Wait()
+				time.Sleep(2 * time.Millisecond)
+			}
+			r, err := b.Evaluate(context.Background(), op, nil)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = r
+		}(i)
+	}
+	launched.Wait()
+	time.Sleep(10 * time.Millisecond)
+	close(fake.block)
+	done.Wait()
+
+	if n := fake.solves.Load(); n != 1 {
+		t.Fatalf("%d concurrent identical k=16 misses ran %d solves, want exactly 1", workers, n)
+	}
+	for i := 1; i < workers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("worker %d got a different result pointer", i)
+		}
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits+s.Waits != workers-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d hits+waits", s, workers-1)
+	}
+}
+
+// TestWideHashCollisionDetected forces two distinct k=16 vectors onto one
+// digest and checks the collision path: the second vector solves uncached
+// (correct answer, no aliasing) and the collision is counted.
+func TestWideHashCollisionDetected(t *testing.T) {
+	orig := hashCurrents
+	hashCurrents = func([]float64) uint64 { return 0xdead }
+	defer func() { hashCurrents = orig }()
+
+	fake := &fakeEval{}
+	c := New(0)
+	b := c.Bind(fake)
+	ctx := context.Background()
+
+	// Omega 0 keeps the fake's positional encoding (t = 10t + c) exactly
+	// representable at k=16, so the two answers stay distinguishable.
+	mk := func(last float64) backend.OpPoint {
+		op := backend.OpPoint{Omega: 0, Currents: make([]float64, 16)}
+		op.Currents[15] = last
+		return op
+	}
+	ra, err := b.Evaluate(ctx, mk(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Evaluate(ctx, mk(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra == rb {
+		t.Fatal("colliding wide keys served one result for two operating points")
+	}
+	if ra.MaxChipTemp == rb.MaxChipTemp {
+		t.Fatal("collision aliased the solved answers")
+	}
+	// The incumbent entry survives; repeating the colliding point keeps
+	// solving uncached, repeating the incumbent hits.
+	if _, err := b.Evaluate(ctx, mk(2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Evaluate(ctx, mk(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := fake.solves.Load(); n != 3 {
+		t.Errorf("solves = %d, want 3 (one cached vector, two uncached collisions)", n)
+	}
+	s := c.Stats()
+	if s.Collisions != 2 || s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 collisions, 1 miss, 1 hit", s)
+	}
+}
+
+// TestSetSolveHookConcurrentWithEvaluate is the -race gate for hook
+// installation mid-traffic (oftecd attaches metrics to a cache that is
+// already serving).
+func TestSetSolveHookConcurrentWithEvaluate(t *testing.T) {
+	fake := &fakeEval{}
+	c := New(0)
+	b := c.Bind(fake)
+
+	var hooked atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op := backend.Scalar(float64(100+i%50), float64(w))
+				if w == 3 {
+					op = backend.OpPoint{Omega: float64(100 + i%50), Currents: make([]float64, 16)}
+				}
+				if _, err := b.Evaluate(context.Background(), op, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 100; i++ {
+		c.SetSolveHook(func(backend.OpPoint) { hooked.Add(1) })
+		c.SetSolveHook(nil)
+		time.Sleep(100 * time.Microsecond)
+	}
+	c.SetSolveHook(func(backend.OpPoint) { hooked.Add(1) })
+	close(stop)
+	wg.Wait()
+	if c.Stats().Misses == 0 {
+		t.Error("stress loop produced no traffic")
 	}
 }
 
@@ -223,6 +401,88 @@ func TestWaiterHonorsContext(t *testing.T) {
 		t.Fatal("cancelled waiter returned without error")
 	}
 	close(fake.block)
+}
+
+// TestBindingChurnStress is the oftecd access pattern under -race: new
+// bindings appear mid-traffic (a model pool admitting fresh chips) while
+// existing bindings hammer one small shared cache with mixed scalar,
+// zoned, and wide (k=16) points hard enough to force generation
+// rotations throughout.
+func TestBindingChurnStress(t *testing.T) {
+	fake := &fakeEval{}
+	c := New(8) // tiny generations → constant rotation pressure
+	seed := c.Bind(fake)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Binder goroutine: a stream of fresh bindings, each immediately used.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			nb := c.Bind(fake)
+			if _, err := nb.Evaluate(context.Background(), backend.Scalar(float64(50+i%20), 1), nil); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Traffic goroutines on the seed binding: scalar, zoned (k=4), wide
+	// (k=16) points drawn from small pools so hits, waits, rotations, and
+	// wide-key probes all occur.
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var op backend.OpPoint
+				switch (w + i) % 3 {
+				case 0:
+					op = backend.Scalar(float64(100+i%6), float64(w%3))
+				case 1:
+					op = backend.OpPoint{Omega: float64(200 + i%5), Currents: []float64{1, 2, float64(w % 2), 4}}
+				default:
+					cur := make([]float64, 16)
+					cur[15] = float64(i % 4)
+					op = backend.OpPoint{Omega: 300, Currents: cur}
+				}
+				if _, err := seed.Evaluate(context.Background(), op, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	s := c.Stats()
+	if s.Rotations == 0 {
+		t.Errorf("capacity-8 cache under churn never rotated: %+v", s)
+	}
+	if s.Hits == 0 || s.Misses == 0 {
+		t.Errorf("stress produced degenerate traffic: %+v", s)
+	}
+	if s.Collisions != 0 {
+		t.Errorf("real FNV hashing collided during stress: %+v", s)
+	}
+	if c.Len() > 2*c.Capacity() {
+		t.Errorf("cache holds %d entries, bound is %d", c.Len(), 2*c.Capacity())
+	}
 }
 
 // TestMixedTrafficSharedCache drives scalar and zoned bindings over one

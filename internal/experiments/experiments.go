@@ -111,21 +111,30 @@ func SurfaceWorkers(setup Setup, benchName string, nOmega, nI, workers int) ([]S
 }
 
 func surface(ctx context.Context, setup Setup, benchName string, nOmega, nI, workers int) ([]SurfacePoint, error) {
-	if nOmega < 2 || nI < 2 {
-		return nil, fmt.Errorf("experiments: surface grid %d×%d must be at least 2×2", nOmega, nI)
-	}
 	sys, err := setup.System(benchName)
 	if err != nil {
 		return nil, err
 	}
-	cfg := setup.Config
+	return SurfaceSystem(ctx, sys, nOmega, nI, workers)
+}
+
+// SurfaceSystem sweeps an already-built System — the form a long-running
+// service uses, so the sweep shares the system's model, ROM basis, and
+// evaluation cache with every other request for the same chip instead of
+// assembling a fresh model per sweep. Grid geometry comes from the
+// system's configuration; ctx bounds the sweep and each point's solve.
+func SurfaceSystem(ctx context.Context, sys *core.System, nOmega, nI, workers int) ([]SurfacePoint, error) {
+	if nOmega < 2 || nI < 2 {
+		return nil, fmt.Errorf("experiments: surface grid %d×%d must be at least 2×2", nOmega, nI)
+	}
+	cfg := sys.Config()
 	out := make([]SurfacePoint, nOmega*nI)
-	err = parallel.ForEach(ctx, nOmega, workers, func(i int) error {
+	err := parallel.ForEach(ctx, nOmega, workers, func(i int) error {
 		omega := cfg.Fan.OmegaMax * float64(i) / float64(nOmega-1)
 		var warm []float64
 		for j := 0; j < nI; j++ {
 			itec := cfg.TEC.MaxCurrent * float64(j) / float64(nI-1)
-			res, err := sys.EvaluateWarm(omega, itec, warm)
+			res, err := sys.EvaluateWarmContext(ctx, omega, itec, warm)
 			if err != nil {
 				return err
 			}

@@ -18,6 +18,9 @@
 //     the pool drains in-flight tasks before returning.
 //   - Cancellable: a cancelled context stops dispatch; in-flight tasks
 //     finish and the context's error is returned when no task failed.
+//     When a task fails and the context is cancelled in the same drain,
+//     the task error wins: a caller retrying on context.Canceled must
+//     not lose the real failure underneath it.
 package parallel
 
 import (

@@ -107,6 +107,90 @@ func TestForEachStopsDispatchOnError(t *testing.T) {
 	}
 }
 
+// TestForEachErrorPrecedenceOverCancellation pins the drain contract when
+// a task fails AND the context is cancelled in the same drain: the
+// lowest-index task error wins over ctx.Err(). A serial loop stopping on
+// the failing task would never have seen the cancellation, and callers
+// (the sweep engine, oftecd request fan-outs) rely on the real failure
+// surfacing instead of a generic context.Canceled.
+func TestForEachErrorPrecedenceOverCancellation(t *testing.T) {
+	t.Run("failure-triggers-cancel", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		boom := errors.New("boom at index 2")
+		err := ForEach(ctx, 8, 4, func(i int) error {
+			if i == 2 {
+				// Cancel first, then fail: the cancellation is fully
+				// visible before the error is recorded, the worst order
+				// for precedence.
+				cancel()
+				return boom
+			}
+			// Everyone else parks until the cancellation so the failure
+			// and the cancelled drain coincide deterministically.
+			<-ctx.Done()
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("got %v, want the task error despite cancellation", err)
+		}
+	})
+
+	t.Run("lowest-failing-index-wins-after-cancel", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		err1 := errors.New("error at index 1")
+		err3 := errors.New("error at index 3")
+		// Tasks 1-3 announce themselves before parking, and task 0 only
+		// cancels once all three are in flight — otherwise workers could
+		// observe the cancellation before ever claiming an index, and a
+		// drain with no task error correctly returns ctx.Err().
+		var entered sync.WaitGroup
+		entered.Add(3)
+		err := ForEach(ctx, 4, 4, func(i int) error {
+			switch i {
+			case 0:
+				entered.Wait()
+				cancel()
+				return nil
+			case 1:
+				entered.Done()
+				<-ctx.Done()
+				// Lose the race on purpose: index 3 records first.
+				time.Sleep(5 * time.Millisecond)
+				return err1
+			case 3:
+				entered.Done()
+				<-ctx.Done()
+				return err3
+			default:
+				entered.Done()
+				<-ctx.Done()
+				return nil
+			}
+		})
+		if !errors.Is(err, err1) {
+			t.Fatalf("got %v, want the lowest-index task error", err)
+		}
+	})
+
+	t.Run("serial-task-error-wins-mid-task", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		boom := errors.New("serial boom")
+		err := ForEach(ctx, 3, 1, func(i int) error {
+			if i == 0 {
+				cancel() // cancelled while the task is in flight
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("got %v, want the in-flight task error", err)
+		}
+	})
+}
+
 func TestForEachCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var ran atomic.Int64

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"sync/atomic"
+
+	"oftec/internal/core"
+	"oftec/internal/solver"
+	"oftec/internal/thermal"
+)
+
+// TraceJSON is one streamed solver iterate. Fields a method does not
+// track (NaN in the TraceRecord) are omitted rather than serialized —
+// JSON has no NaN.
+type TraceJSON struct {
+	Method       string    `json:"method"`
+	Iter         int       `json:"iter"`
+	X            []float64 `json:"x,omitempty"`
+	F            *float64  `json:"f,omitempty"`
+	MaxViolation *float64  `json:"max_violation,omitempty"`
+	StepNorm     *float64  `json:"step_norm,omitempty"`
+	Alpha        *float64  `json:"alpha,omitempty"`
+}
+
+// StreamLine is one NDJSON line of a streamed optimize: trace records
+// while the solver runs, then exactly one terminal line carrying either
+// the outcome or an error.
+type StreamLine struct {
+	Trace   *TraceJSON        `json:"trace,omitempty"`
+	Outcome *OptimizeResponse `json:"outcome,omitempty"`
+	Error   string            `json:"error,omitempty"`
+	// DroppedTraces counts records the stream shed under backpressure
+	// (reported on the terminal line only when nonzero).
+	DroppedTraces int64 `json:"dropped_traces,omitempty"`
+}
+
+func finPtr(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+func traceJSON(rec solver.TraceRecord) TraceJSON {
+	tj := TraceJSON{Method: rec.Method, Iter: rec.Iter, F: finPtr(rec.F),
+		MaxViolation: finPtr(rec.MaxViolation), StepNorm: finPtr(rec.StepNorm),
+		Alpha: finPtr(rec.Alpha)}
+	x := make([]float64, 0, len(rec.X))
+	for _, v := range rec.X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			x = nil
+			break
+		}
+		x = append(x, v)
+	}
+	tj.X = x
+	return tj
+}
+
+// streamResult carries the run's terminal state from the solver
+// goroutine back to the response loop.
+type streamResult struct {
+	resp OptimizeResponse
+	err  error
+}
+
+// streamOptimize answers an optimize request as chunked NDJSON: the
+// solver's Trace hook feeds per-iterate records through a bounded
+// channel (shedding under backpressure rather than stalling the solve),
+// the handler relays them to the client as they arrive, and the final
+// line carries the outcome. The client sees progress while a long solve
+// runs instead of a silent connection.
+func (s *Server) streamOptimize(ctx context.Context, w http.ResponseWriter, sys *core.System, zoning *thermal.Zoning, opts core.Options) {
+	traceCh := make(chan solver.TraceRecord, 128)
+	var dropped atomic.Int64
+	opts.Solver.Trace = func(rec solver.TraceRecord) {
+		select {
+		case traceCh <- rec:
+		default:
+			dropped.Add(1)
+		}
+	}
+
+	// The result channel is consumed below before the handler returns,
+	// and the solver honors ctx at iteration boundaries, so the goroutine
+	// cannot outlive the request for long even if the client vanishes.
+	resCh := make(chan streamResult, 1)
+	go func() {
+		resp, err := runOptimize(sys, zoning, opts)
+		resCh <- streamResult{resp: resp, err: err}
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(line StreamLine) {
+		// Marshal failures would only arise from non-finite floats, which
+		// the Trace/outcome sanitizers already strip; a write failure
+		// means the client hung up and the terminal line is moot.
+		if enc.Encode(line) == nil && flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	for {
+		select {
+		case rec := <-traceCh:
+			tj := traceJSON(rec)
+			emit(StreamLine{Trace: &tj})
+		case res := <-resCh:
+			// Drain records the solver emitted after our last read so the
+			// stream ends with the complete iterate history.
+			for {
+				select {
+				case rec := <-traceCh:
+					tj := traceJSON(rec)
+					emit(StreamLine{Trace: &tj})
+					continue
+				default:
+				}
+				break
+			}
+			final := StreamLine{DroppedTraces: dropped.Load()}
+			if res.err != nil {
+				s.errors.Add(1)
+				final.Error = res.err.Error()
+			} else {
+				final.Outcome = &res.resp
+			}
+			emit(final)
+			return
+		}
+	}
+}

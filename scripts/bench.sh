@@ -10,10 +10,14 @@
 #
 # It also records the backend comparison — BenchmarkROMEvaluate against
 # the full backend's repeated-point and cold solves — into
-# BENCH_backend.json; the acceptance bar is rom_vs_cold_full ≥ 10.
+# BENCH_backend.json (acceptance bar: rom_vs_cold_full ≥ 10), and the
+# serving benchmark — cmd/oftecload replaying SERVE_N concurrent mixed
+# requests against a self-hosted oftecd — into BENCH_serve.json
+# (acceptance bar: zero errors and cache hits+waits > 0).
 #
-# Usage: scripts/bench.sh [output.json] [backend-output.json]
+# Usage: scripts/bench.sh [output.json] [backend-output.json] [serve-output.json]
 #   BENCHTIME=5s scripts/bench.sh       # longer runs for stabler numbers
+#   SERVE_N=5000 SERVE_C=64 scripts/bench.sh   # heavier serving run
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,6 +25,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-2s}"
 OUT="${1:-BENCH_evaluate.json}"
 BACKEND_OUT="${2:-BENCH_backend.json}"
+SERVE_OUT="${3:-BENCH_serve.json}"
 raw="$(mktemp)"
 parsed="$(mktemp)"
 current="$(mktemp)"
@@ -127,3 +132,15 @@ jq -n \
 
 echo "== wrote $BACKEND_OUT"
 jq '.speedup' "$BACKEND_OUT"
+
+# The serving benchmark: oftecload self-hosts an oftecd and replays a
+# deterministic mixed workload (scalar/zoned evaluates, optimizes,
+# sweeps, Pareto fronts across three chips), writing latency percentiles
+# and cache-coalescing rates. oftecload itself exits nonzero on any
+# request error or if no cross-request coalescing was observed, so this
+# doubles as the serving acceptance gate.
+echo "== oftecload (serving benchmark, ${SERVE_N:-1000} requests × ${SERVE_C:-32} workers)"
+go run ./cmd/oftecload -n "${SERVE_N:-1000}" -c "${SERVE_C:-32}" -out "$SERVE_OUT"
+
+echo "== wrote $SERVE_OUT"
+jq '{p50_ms, p90_ms, p99_ms, throughput_rps, errors, coalesce_rate: .cache.coalesce_rate}' "$SERVE_OUT"

@@ -2,7 +2,8 @@
 # check.sh — the full verification gate for this repository:
 #
 #   build → go vet → oftecvet (project static analysis) → concurrency
-#   tests with -race → full tests with -race → parallel-sweep bench smoke
+#   tests with -race → full tests with -race → oftecd smoke (live daemon,
+#   every endpoint, clean SIGTERM shutdown) → parallel-sweep bench smoke
 #
 # Run from anywhere inside the module; exits nonzero on the first failure.
 set -eu
@@ -46,7 +47,8 @@ echo "   oftecvet wall time: ${vet_wall}s (budget 60s)"
 # test names around it change.
 echo "== go test -race (evaluation-cache + fan-out concurrency)"
 go test -race -run 'Concurrent|Singleflight|Eviction|Stress|ParallelMatchesSerial|ForEach' \
-	./internal/core/... ./internal/experiments/... ./internal/solver/... ./internal/parallel/...
+	./internal/core/... ./internal/experiments/... ./internal/solver/... ./internal/parallel/... \
+	./internal/serve/...
 
 # The solver robustness contract by name: Report conformance across all
 # methods, cancellation within one iteration, fault-injected fallback
@@ -68,6 +70,49 @@ go test -race \
 
 echo "== go test -race ./..."
 go test -race ./...
+
+# The oftecd smoke gate: a real daemon on an ephemeral port, one request
+# against every endpoint (including a streamed optimize), then SIGTERM —
+# the process must drain and exit zero. This is the only place the
+# signal/listener plumbing in cmd/oftecd runs before a deploy would.
+echo "== oftecd smoke (live daemon, every endpoint, SIGTERM)"
+smokedir=$(mktemp -d)
+trap 'kill "$smokepid" 2>/dev/null; rm -rf "$smokedir"' EXIT
+go build -o "$smokedir/oftecd" ./cmd/oftecd
+"$smokedir/oftecd" -addr 127.0.0.1:0 >"$smokedir/log" 2>&1 &
+smokepid=$!
+i=0
+until grep -q 'listening on' "$smokedir/log"; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "check.sh: oftecd never started listening" >&2
+		cat "$smokedir/log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+smokeaddr=$(sed -n 's/^oftecd: listening on //p' "$smokedir/log")
+curl -sf "http://$smokeaddr/healthz" >/dev/null
+curl -sf -X POST "http://$smokeaddr/v1/evaluate" \
+	-d '{"omega_rpm":3000,"itec_a":1}' | jq -e '.runaway == false' >/dev/null
+curl -sf -X POST "http://$smokeaddr/v1/optimize" \
+	-d '{"chip":{"bench":"CRC32"}}' | jq -e '.feasible == true' >/dev/null
+curl -sf -X POST "http://$smokeaddr/v1/optimize" \
+	-d '{"stream":true}' | tail -n 1 | jq -e '.outcome.feasible == true' >/dev/null
+curl -sf -X POST "http://$smokeaddr/v1/sweep" \
+	-d '{"n_omega":3,"n_i":3}' | jq -e '.points | length == 9' >/dev/null
+curl -sf -X POST "http://$smokeaddr/v1/pareto" \
+	-d '{"tmax_c":[90]}' | jq -e '.points[0].feasible == true' >/dev/null
+curl -sf "http://$smokeaddr/stats" | jq -e '.cache.misses > 0' >/dev/null
+kill -TERM "$smokepid"
+if ! wait "$smokepid"; then
+	echo "check.sh: oftecd did not exit cleanly on SIGTERM" >&2
+	cat "$smokedir/log" >&2
+	exit 1
+fi
+grep -q 'cache at exit' "$smokedir/log"
+trap 'rm -rf "$smokedir"' EXIT
+echo "   oftecd smoke: all endpoints answered, clean SIGTERM exit"
 
 # One cold iteration of the 40×40 surface sweep in both serial and
 # parallel form, so the fan-out path is exercised end-to-end on every gate.
