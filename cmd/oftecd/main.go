@@ -10,6 +10,7 @@
 //	POST /v1/pareto    power/temperature trade-off over thresholds
 //	GET  /healthz      liveness (exempt from admission control)
 //	GET  /stats        pool, cache, and traffic counters (exempt)
+//	GET  /statz        /stats plus live batched-evaluation counters (exempt)
 //
 // The daemon shuts down cleanly on SIGTERM/SIGINT: the listener closes,
 // in-flight requests get a grace period, and the final cache statistics
@@ -41,6 +42,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = 30s)")
 	maxTimeout := flag.Duration("max-timeout", 0, "clamp on client-requested deadlines (0 = 2m)")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
+	batch := flag.Bool("batch", true, "blocked multi-RHS evaluation for sweep/Pareto traffic")
+	romCacheDir := flag.String("rom-cache-dir", "", "persist ROM bases here so restarts skip snapshot collection")
 	flag.Parse()
 
 	s := serve.New(serve.Options{
@@ -49,6 +52,8 @@ func main() {
 		MaxModels:      *maxModels,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		DisableBatch:   !*batch,
+		ROMCacheDir:    *romCacheDir,
 	})
 	srv := &http.Server{Handler: s.Handler()}
 
@@ -82,6 +87,6 @@ func main() {
 	}
 
 	cs := s.Cache().Stats()
-	log.Printf("cache at exit: hits=%d waits=%d misses=%d rotations=%d collisions=%d",
-		cs.Hits, cs.Waits, cs.Misses, cs.Rotations, cs.Collisions)
+	log.Printf("cache at exit: hits=%d waits=%d misses=%d rotations=%d collisions=%d batches=%d batch_points=%d",
+		cs.Hits, cs.Waits, cs.Misses, cs.Rotations, cs.Collisions, cs.Batches, cs.BatchPoints)
 }

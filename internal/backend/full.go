@@ -92,7 +92,7 @@ func (f *Full) Select(name string) (Evaluator, error) {
 		return f, nil
 	case "rom":
 		f.romOnce.Do(func() {
-			f.rom, f.romErr = NewROM(f, thermal.ROMOptions{})
+			f.rom, f.romErr = NewROM(f, thermal.ROMOptions{CacheDir: ROMCacheDir()})
 		})
 		return f.rom, f.romErr
 	default:

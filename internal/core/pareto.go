@@ -54,6 +54,19 @@ func (s *System) ParetoFront(tmaxValues []float64, opts Options) ([]ParetoPoint,
 	if workers > len(sorted) {
 		workers = len(sorted)
 	}
+
+	ctx := opts.Solver.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Every threshold's Run starts from the same point(s) — the domain
+	// center, plus the corners under MultiStart. Submit them as one batch
+	// up front so the probes (serial or concurrent) begin on cache hits;
+	// priming both paths from the same batch keeps parallel ≡ serial
+	// fronts bit-identical.
+	if sel, err := s.binding(opts.Backend); err == nil {
+		s.primeStartBatch(ctx, sel.bnd, opts, 1)
+	}
 	if workers == 1 {
 		return s.paretoSerial(sorted, opts)
 	}
@@ -62,10 +75,6 @@ func (s *System) ParetoFront(tmaxValues []float64, opts Options) ([]ParetoPoint,
 	// one (service request deadlines): cancellation stops dispatching new
 	// thresholds, and each in-flight Run already honors the same context
 	// at its iteration boundaries.
-	ctx := opts.Solver.Ctx
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	out := make([]ParetoPoint, len(sorted))
 	err := parallel.ForEach(ctx, len(sorted), workers, func(i int) error {
 		tmax := sorted[i]

@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"oftec/internal/backend"
 	"oftec/internal/evalcache"
@@ -173,6 +174,10 @@ type System struct {
 	// scalar backend solve — i.e. exactly once per deduplicated cache
 	// miss. Test instrumentation only; set before any traffic.
 	solveHook func(omega, itec float64)
+
+	// batchOff disables the blocked evaluation paths (see SetBatching);
+	// the zero value keeps batching on.
+	batchOff atomic.Bool
 }
 
 // zonedKey identifies one memoized zoned binding: the Options.Backend

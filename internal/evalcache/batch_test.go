@@ -1,0 +1,255 @@
+package evalcache
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oftec/internal/backend"
+	"oftec/internal/thermal"
+)
+
+// fakeBatchEval is fakeEval with the BatchEvaluator capability, counting
+// how many blocks reach the backend.
+type fakeBatchEval struct {
+	fakeEval
+	batches     atomic.Int64
+	batchPoints atomic.Int64
+}
+
+func (f *fakeBatchEval) EvaluateBatch(_ context.Context, ops []backend.OpPoint, _ []float64) ([]*thermal.Result, error) {
+	f.batches.Add(1)
+	f.batchPoints.Add(int64(len(ops)))
+	out := make([]*thermal.Result, len(ops))
+	for i, op := range ops {
+		t := op.Omega
+		for _, c := range op.Currents {
+			t = 10*t + c
+		}
+		out[i] = &thermal.Result{Omega: op.Omega, MaxChipTemp: t}
+	}
+	return out, nil
+}
+
+type failEval struct{ err error }
+
+func (f *failEval) Name() string           { return "fail" }
+func (f *failEval) Config() thermal.Config { return thermal.Config{} }
+func (f *failEval) Evaluate(context.Context, backend.OpPoint, []float64) (*thermal.Result, error) {
+	return nil, f.err
+}
+
+// TestBatchClassification pins the one-lock triage: hits fill from the
+// cache, in-batch duplicates dedupe onto the first occurrence without a
+// solve, unique misses solve once, and the counters account every point.
+func TestBatchClassification(t *testing.T) {
+	fake := &fakeEval{}
+	c := New(0)
+	b := c.Bind(fake)
+	ctx := context.Background()
+
+	pre, err := b.Evaluate(ctx, backend.Scalar(100, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := c.Stats()
+
+	ops := []backend.OpPoint{
+		backend.Scalar(100, 1),   // hit
+		backend.Scalar(200, 0.5), // miss
+		backend.Scalar(200, 0.5), // in-batch duplicate of the miss
+		backend.Scalar(300, 0),   // miss
+	}
+	res, err := b.EvaluateBatch(ctx, ops, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != pre {
+		t.Error("hit did not return the cached pointer")
+	}
+	if res[1] == nil || res[2] != res[1] {
+		t.Error("in-batch duplicate did not alias the first occurrence's result")
+	}
+	if fake.solves.Load() != 3 { // pre-populate + 2 unique misses
+		t.Errorf("backend solves = %d, want 3", fake.solves.Load())
+	}
+
+	s := c.Stats()
+	if s.Batches-base.Batches != 1 || s.BatchPoints-base.BatchPoints != 4 {
+		t.Errorf("batch counters: %+v (base %+v)", s, base)
+	}
+	if s.Hits-base.Hits != 1 || s.Waits-base.Waits != 1 || s.Misses-base.Misses != 2 {
+		t.Errorf("classification counters: %+v (base %+v)", s, base)
+	}
+
+	// The batch populated the cache: replaying per-point is all hits with
+	// identical pointers.
+	for i, op := range ops {
+		solo, err := b.Evaluate(ctx, op, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if solo != res[i] {
+			t.Errorf("point %d: per-point replay returned a different pointer", i)
+		}
+	}
+}
+
+// TestBatchRoutesThroughBatchEvaluator pins the capability probe: a
+// backend with EvaluateBatch gets the whole miss block in one call and no
+// per-point traffic.
+func TestBatchRoutesThroughBatchEvaluator(t *testing.T) {
+	fake := &fakeBatchEval{}
+	c := New(0)
+	b := c.Bind(fake)
+
+	ops := []backend.OpPoint{
+		backend.Scalar(100, 0),
+		backend.Scalar(100, 1),
+		backend.Scalar(100, 1), // duplicate: must not reach the backend
+		backend.Scalar(250, 2),
+	}
+	res, err := b.EvaluateBatch(context.Background(), ops, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r == nil {
+			t.Fatalf("point %d nil", i)
+		}
+	}
+	if n := fake.batches.Load(); n != 1 {
+		t.Errorf("backend saw %d batches, want 1", n)
+	}
+	if n := fake.batchPoints.Load(); n != 3 {
+		t.Errorf("backend saw %d batch points, want 3 unique misses", n)
+	}
+	if n := fake.solves.Load(); n != 0 {
+		t.Errorf("backend saw %d per-point solves, want 0", n)
+	}
+}
+
+// TestBatchJoinsInflight: a point already being solved by another caller
+// is joined, not re-solved, and the batch returns the leader's pointer.
+func TestBatchJoinsInflight(t *testing.T) {
+	fake := &fakeEval{block: make(chan struct{})}
+	c := New(0)
+	b := c.Bind(fake)
+
+	leaderDone := make(chan *thermal.Result)
+	go func() {
+		r, err := b.Evaluate(context.Background(), backend.Scalar(250, 1.5), nil)
+		if err != nil {
+			t.Error(err)
+		}
+		leaderDone <- r
+	}()
+	// Give the leader time to register its in-flight slot.
+	time.Sleep(5 * time.Millisecond)
+
+	batchDone := make(chan []*thermal.Result)
+	go func() {
+		res, err := b.EvaluateBatch(context.Background(), []backend.OpPoint{
+			backend.Scalar(250, 1.5), // joins the leader
+			backend.Scalar(400, 0),   // its own miss — blocks on fake too
+		}, nil)
+		if err != nil {
+			t.Error(err)
+		}
+		batchDone <- res
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(fake.block)
+
+	leader := <-leaderDone
+	res := <-batchDone
+	if res[0] != leader {
+		t.Error("batch did not join the in-flight solve (pointer differs)")
+	}
+	if n := fake.solves.Load(); n != 2 {
+		t.Errorf("solves = %d, want 2 (leader + the batch's own miss)", n)
+	}
+	if s := c.Stats(); s.Waits != 1 {
+		t.Errorf("Waits = %d, want 1", s.Waits)
+	}
+}
+
+// TestBatchWaitHonorsCancellation: a batch parked on another caller's
+// never-finishing solve returns when its context is cancelled.
+func TestBatchWaitHonorsCancellation(t *testing.T) {
+	fake := &fakeEval{block: make(chan struct{})}
+	c := New(0)
+	b := c.Bind(fake)
+
+	go func() {
+		_, _ = b.Evaluate(context.Background(), backend.Scalar(250, 1.5), nil)
+	}()
+	time.Sleep(5 * time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error)
+	go func() {
+		_, err := b.EvaluateBatch(ctx, []backend.OpPoint{backend.Scalar(250, 1.5)}, nil)
+		errCh <- err
+	}()
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled batch wait never returned")
+	}
+	close(fake.block) // release the leader
+}
+
+// TestBatchErrorReleasesInflight: a failing solve fails the whole batch
+// but leaves the cache healthy — no stuck in-flight entries, nothing
+// cached, and a later success proceeds normally.
+func TestBatchErrorReleasesInflight(t *testing.T) {
+	boom := errors.New("boom")
+	bad := &failEval{err: boom}
+	c := New(0)
+	b := c.Bind(bad)
+
+	ops := []backend.OpPoint{backend.Scalar(100, 0), backend.Scalar(200, 1)}
+	if _, err := b.EvaluateBatch(context.Background(), ops, nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the backend error", err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed solves were cached: Len = %d", c.Len())
+	}
+
+	// The same keys re-solve freely on a healthy binding of the same cache:
+	// nothing is wedged on a leftover rendezvous.
+	good := c.Bind(&fakeEval{})
+	done := make(chan struct{})
+	go func() {
+		if _, err := good.EvaluateBatch(context.Background(), ops, nil); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("batch after a failed batch never completed (stuck inflight)")
+	}
+}
+
+// TestBatchEmptyAndInvalid: an empty batch is a no-op; an invalid shape
+// passes through to the backend's error, failing the batch.
+func TestBatchEmptyAndInvalid(t *testing.T) {
+	c := New(0)
+	b := c.Bind(&failEval{err: errors.New("invalid point")})
+	res, err := b.EvaluateBatch(context.Background(), nil, nil)
+	if err != nil || len(res) != 0 {
+		t.Errorf("empty batch: res=%v err=%v", res, err)
+	}
+	if _, err := b.EvaluateBatch(context.Background(), []backend.OpPoint{{Omega: 100}}, nil); err == nil {
+		t.Error("zero-current point did not surface the backend error")
+	}
+}

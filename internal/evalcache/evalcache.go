@@ -60,6 +60,12 @@ type Stats struct {
 	// uncached (correctness is never at stake); any nonzero value with
 	// real traffic deserves investigation.
 	Collisions int64
+	// Batches counts EvaluateBatch calls; BatchPoints the operating points
+	// submitted through them. Each point still lands in Hits, Waits, or
+	// Misses above, so BatchPoints measures how much traffic takes the
+	// blocked path rather than adding to the per-point totals.
+	Batches     int64
+	BatchPoints int64
 }
 
 // key identifies one quantized operating point inside one binding's key

@@ -123,14 +123,40 @@ func surface(ctx context.Context, setup Setup, benchName string, nOmega, nI, wor
 // evaluation cache with every other request for the same chip instead of
 // assembling a fresh model per sweep. Grid geometry comes from the
 // system's configuration; ctx bounds the sweep and each point's solve.
+//
+// When the system's backend supports batched evaluation, each ω-row is
+// submitted as one block: the thermal layer assembles and factorizes once
+// per row and sweeps the current axis as blocked multi-RHS solves, with
+// the row's first solution warm-starting the rest (the batch analogue of
+// the per-point carry below). Either way the unit of parallelism is one
+// row and no state crosses rows, so results are identical for any worker
+// count. Disable batching on the system (core.System.SetBatching) to
+// force the per-point reference path.
 func SurfaceSystem(ctx context.Context, sys *core.System, nOmega, nI, workers int) ([]SurfacePoint, error) {
 	if nOmega < 2 || nI < 2 {
 		return nil, fmt.Errorf("experiments: surface grid %d×%d must be at least 2×2", nOmega, nI)
 	}
 	cfg := sys.Config()
 	out := make([]SurfacePoint, nOmega*nI)
+	batched := sys.SupportsBatch()
 	err := parallel.ForEach(ctx, nOmega, workers, func(i int) error {
 		omega := cfg.Fan.OmegaMax * float64(i) / float64(nOmega-1)
+		if batched {
+			ops := make([]backend.OpPoint, nI)
+			for j := 0; j < nI; j++ {
+				ops[j] = backend.Scalar(omega, cfg.TEC.MaxCurrent*float64(j)/float64(nI-1))
+			}
+			results, err := sys.EvaluateBatchContext(ctx, ops, nil)
+			if err != nil {
+				return err
+			}
+			for j, res := range results {
+				out[i*nI+j] = surfacePoint(omega, ops[j].Currents[0], res)
+			}
+			return nil
+		}
+		// Per-point reference path: the converged field at each point
+		// warm-starts the next I step; the carry never crosses rows.
 		var warm []float64
 		for j := 0; j < nI; j++ {
 			itec := cfg.TEC.MaxCurrent * float64(j) / float64(nI-1)
@@ -138,16 +164,10 @@ func SurfaceSystem(ctx context.Context, sys *core.System, nOmega, nI, workers in
 			if err != nil {
 				return err
 			}
-			p := SurfacePoint{Omega: omega, ITEC: itec, Runaway: res.Runaway}
-			if res.Runaway {
-				p.MaxTemp = math.Inf(1)
-				p.Power = math.Inf(1)
-			} else {
-				p.MaxTemp = res.MaxChipTemp
-				p.Power = res.CoolingPower()
+			if !res.Runaway {
 				warm = res.T
 			}
-			out[i*nI+j] = p
+			out[i*nI+j] = surfacePoint(omega, itec, res)
 		}
 		return nil
 	})
@@ -155,6 +175,19 @@ func SurfaceSystem(ctx context.Context, sys *core.System, nOmega, nI, workers in
 		return nil, err
 	}
 	return out, nil
+}
+
+// surfacePoint converts one steady-state result into its surface sample.
+func surfacePoint(omega, itec float64, res *thermal.Result) SurfacePoint {
+	p := SurfacePoint{Omega: omega, ITEC: itec, Runaway: res.Runaway}
+	if res.Runaway {
+		p.MaxTemp = math.Inf(1)
+		p.Power = math.Inf(1)
+	} else {
+		p.MaxTemp = res.MaxChipTemp
+		p.Power = res.CoolingPower()
+	}
+	return p
 }
 
 // WriteSurfaceCSV emits a surface as CSV with the same axes as Figure 6.

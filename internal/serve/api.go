@@ -242,6 +242,27 @@ type StatsResponse struct {
 	Req     ReqStats   `json:"requests"`
 }
 
+// StatzResponse is the /statz snapshot: /stats plus the blocked
+// multi-RHS evaluation counters.
+type StatzResponse struct {
+	UptimeS float64    `json:"uptime_s"`
+	Pool    PoolStats  `json:"pool"`
+	Cache   CacheStats `json:"cache"`
+	Batch   BatchStats `json:"batch"`
+	Req     ReqStats   `json:"requests"`
+}
+
+// BatchStats describes blocked multi-RHS evaluation traffic.
+type BatchStats struct {
+	// Enabled is false when the server runs with DisableBatch.
+	Enabled bool `json:"enabled"`
+	// Batches counts EvaluateBatch calls that reached the shared cache.
+	Batches int64 `json:"batches"`
+	// BatchPoints is the total operating points submitted in them; each
+	// point still lands in the cache's hits/waits/misses.
+	BatchPoints int64 `json:"batch_points"`
+}
+
 // PoolStats describes the model pool.
 type PoolStats struct {
 	// Models is the number of resident (floorplan, config) entries.

@@ -28,6 +28,8 @@ type pool struct {
 	entries map[uint64][]*poolEntry // hash → collision bucket
 	builds  atomic.Int64
 	max     int
+	// batchOff propagates Options.DisableBatch onto every built system.
+	batchOff bool
 }
 
 // poolEntry is one resident chip: the canonical identity, the
@@ -43,11 +45,11 @@ type poolEntry struct {
 	zonings map[string]*thermal.Zoning
 }
 
-func newPool(maxModels int) *pool {
+func newPool(maxModels int, disableBatch bool) *pool {
 	if maxModels <= 0 {
 		maxModels = 64
 	}
-	return &pool{entries: map[uint64][]*poolEntry{}, max: maxModels}
+	return &pool{entries: map[uint64][]*poolEntry{}, max: maxModels, batchOff: disableBatch}
 }
 
 // canonChip renders the spec's full identity: workload, backend, and the
@@ -146,6 +148,9 @@ func (e *poolEntry) system(p *pool, cache *evalcache.Cache) (*core.System, error
 		}
 		p.builds.Add(1)
 		e.sys = core.NewSystemShared(plant, cache)
+		if p.batchOff {
+			e.sys.SetBatching(false)
+		}
 	})
 	return e.sys, e.err
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"oftec/internal/backend"
 	"oftec/internal/core"
 	"oftec/internal/evalcache"
 )
@@ -36,6 +37,13 @@ type Options struct {
 	// MaxGridPoints bounds sweep grids (n_omega × n_i). Zero selects
 	// 4096.
 	MaxGridPoints int
+	// DisableBatch turns off blocked multi-RHS evaluation on every pooled
+	// system: sweep rows and Pareto start priming fall back to per-point
+	// solves. The batched path is the default; this is the escape hatch.
+	DisableBatch bool
+	// ROMCacheDir, when set, persists Galerkin ROM bases there so a
+	// restarted server loads them instead of re-collecting snapshots.
+	ROMCacheDir string
 }
 
 func (o Options) maxInflight() int {
@@ -96,10 +104,13 @@ type Server struct {
 
 // New builds a Server.
 func New(opts Options) *Server {
+	if opts.ROMCacheDir != "" {
+		backend.SetROMCacheDir(opts.ROMCacheDir)
+	}
 	return &Server{
 		opts:  opts,
 		cache: evalcache.New(opts.CacheCapacity),
-		pool:  newPool(opts.MaxModels),
+		pool:  newPool(opts.MaxModels, opts.DisableBatch),
 		sem:   make(chan struct{}, opts.maxInflight()),
 		start: time.Now(),
 	}
@@ -118,6 +129,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/pareto", s.working(s.handlePareto, &s.paretos))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /statz", s.handleStatz)
 	return mux
 }
 
@@ -215,33 +227,63 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	cs := s.cache.Stats()
 	s.writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeS: time.Since(s.start).Seconds(),
-		Pool: PoolStats{
-			Models: s.pool.size(),
-			Builds: s.pool.builds.Load(),
-		},
-		Cache: CacheStats{
-			Hits:       cs.Hits,
-			Waits:      cs.Waits,
-			Misses:     cs.Misses,
-			Rotations:  cs.Rotations,
-			Collisions: cs.Collisions,
-			Len:        s.cache.Len(),
-			Capacity:   s.cache.Capacity(),
-		},
-		Req: ReqStats{
-			Total:     s.total.Load(),
-			Errors:    s.errors.Load(),
-			Throttled: s.throttled.Load(),
-			InFlight:  s.inflight.Load(),
-			Evaluate:  s.evaluates.Load(),
-			Optimize:  s.optimizes.Load(),
-			Sweep:     s.sweeps.Load(),
-			Pareto:    s.paretos.Load(),
-		},
+		Pool:    s.poolStats(),
+		Cache:   s.cacheStats(),
+		Req:     s.reqStats(),
 	})
+}
+
+// handleStatz is the live-counter superset of /stats: the same snapshot
+// plus the blocked-evaluation traffic, served admission-exempt so a
+// saturated or mid-sweep server stays observable.
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	s.writeJSON(w, http.StatusOK, StatzResponse{
+		UptimeS: time.Since(s.start).Seconds(),
+		Pool:    s.poolStats(),
+		Cache:   s.cacheStats(),
+		Batch: BatchStats{
+			Enabled:     !s.opts.DisableBatch,
+			Batches:     cs.Batches,
+			BatchPoints: cs.BatchPoints,
+		},
+		Req: s.reqStats(),
+	})
+}
+
+func (s *Server) poolStats() PoolStats {
+	return PoolStats{
+		Models: s.pool.size(),
+		Builds: s.pool.builds.Load(),
+	}
+}
+
+func (s *Server) cacheStats() CacheStats {
+	cs := s.cache.Stats()
+	return CacheStats{
+		Hits:       cs.Hits,
+		Waits:      cs.Waits,
+		Misses:     cs.Misses,
+		Rotations:  cs.Rotations,
+		Collisions: cs.Collisions,
+		Len:        s.cache.Len(),
+		Capacity:   s.cache.Capacity(),
+	}
+}
+
+func (s *Server) reqStats() ReqStats {
+	return ReqStats{
+		Total:     s.total.Load(),
+		Errors:    s.errors.Load(),
+		Throttled: s.throttled.Load(),
+		InFlight:  s.inflight.Load(),
+		Evaluate:  s.evaluates.Load(),
+		Optimize:  s.optimizes.Load(),
+		Sweep:     s.sweeps.Load(),
+		Pareto:    s.paretos.Load(),
+	}
 }
 
 // system resolves a chip spec through the pool to its shared System,

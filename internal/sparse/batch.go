@@ -1,0 +1,708 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// This file is the blocked multi-RHS solve engine. The bulk workloads in
+// this repository — surface sweeps, Pareto probes, ROM snapshot
+// collection — evaluate many operating points against one ω-slice of the
+// conductance matrix: the systems differ only in a handful of diagonal
+// entries (the per-point Peltier terms) and in the RHS. CGPrecondBatch
+// solves up to w such systems in lockstep, sharing one IC(0)
+// factorization and walking the matrix pattern once per iteration for
+// all columns, with the column values interleaved (node i, column j at
+// i*w+j) so the inner loops stream w-wide contiguous blocks.
+//
+// The lockstep iteration replicates CGPrecond's arithmetic per column
+// bit-for-bit: every dot product accumulates in the same i-order, every
+// matrix row in the same k-order, and each column carries its own
+// alpha/beta/rz scalars. A column that converges is frozen (its x is
+// never touched again); a column that breaks down or exhausts the budget
+// is reported not-ok and the caller re-solves it through the scalar
+// path, which reproduces the identical failure and proceeds down its own
+// ladder. Batched results are therefore DeepEqual to per-point results,
+// including SolveStats.
+
+// DiagOverride replaces one value-array slot of the shared matrix with a
+// per-column coefficient: row Row's entry at value index K reads
+// Vals[j] (the full coefficient, not a delta) for column j. The batched
+// thermal assembly uses these for the TEC cold/hot diagonal terms, the
+// only matrix entries that vary within an ω-slice.
+type DiagOverride struct {
+	Row  int32
+	K    int32
+	Vals []float64
+}
+
+// BatchWorkspace holds the interleaved scratch of one lockstep solve so
+// chunked batch loops (or a sync.Pool) avoid per-call allocation. The
+// zero value is ready; vectors grow on demand and are retained.
+type BatchWorkspace struct {
+	x, r, z, p, ap, pre []float64 // n×w interleaved
+	acc                 []float64 // w-wide row accumulator
+
+	bnorm, rz, rzNew, pap        []float64 // per-column scalars
+	alpha, nalpha, beta, resnorm []float64
+	inactive                     []bool
+}
+
+// grow sizes the workspace for an n-node, w-column solve.
+func (ws *BatchWorkspace) grow(n, w int) {
+	growF := func(v []float64, size int) []float64 {
+		if cap(v) < size {
+			return make([]float64, size)
+		}
+		return v[:size]
+	}
+	nw := n * w
+	ws.x = growF(ws.x, nw)
+	ws.r = growF(ws.r, nw)
+	ws.z = growF(ws.z, nw)
+	ws.p = growF(ws.p, nw)
+	ws.ap = growF(ws.ap, nw)
+	ws.pre = growF(ws.pre, nw)
+	ws.acc = growF(ws.acc, w)
+	ws.bnorm = growF(ws.bnorm, w)
+	ws.rz = growF(ws.rz, w)
+	ws.rzNew = growF(ws.rzNew, w)
+	ws.pap = growF(ws.pap, w)
+	ws.alpha = growF(ws.alpha, w)
+	ws.nalpha = growF(ws.nalpha, w)
+	ws.beta = growF(ws.beta, w)
+	ws.resnorm = growF(ws.resnorm, w)
+	if cap(ws.inactive) < w {
+		ws.inactive = make([]bool, w)
+	}
+	ws.inactive = ws.inactive[:w]
+	for j := range ws.inactive {
+		ws.inactive[j] = false
+	}
+}
+
+// batchPool recycles BatchWorkspaces across chunked solves.
+var batchPool = sync.Pool{New: func() any { return &BatchWorkspace{} }}
+
+// GetBatchWorkspace takes a pooled workspace.
+func GetBatchWorkspace() *BatchWorkspace { return batchPool.Get().(*BatchWorkspace) }
+
+// PutBatchWorkspace returns a workspace to the pool.
+func PutBatchWorkspace(ws *BatchWorkspace) { batchPool.Put(ws) }
+
+// mulVecBatch computes dst = A_j·x per column j, where A_j is the shared
+// matrix with the per-column DiagOverride values applied. Overrides must
+// be sorted by ascending Row (validated by CGPrecondBatch); each row has
+// at most one. Per column the accumulation runs in the same k-order as
+// CSR.MulVec, so the result bits match a per-point MulVec against the
+// patched matrix.
+//
+//oftec:hotpath
+func mulVecBatch(m *CSR, ovs []DiagOverride, dst, x []float64, w int, acc []float64) {
+	if w == 8 {
+		mulVecBatch8(m, ovs, dst, x)
+		return
+	}
+	oi := 0
+	for i := 0; i < m.n; i++ {
+		lo, hi := int(m.rowPtr[i]), int(m.rowPtr[i+1])
+		for j := 0; j < w; j++ {
+			acc[j] = 0
+		}
+		if oi < len(ovs) && int(ovs[oi].Row) == i {
+			ovK := int(ovs[oi].K)
+			ovVals := ovs[oi].Vals
+			for k := lo; k < hi; k++ {
+				c := int(m.colIdx[k]) * w
+				xs := x[c : c+w]
+				if k == ovK {
+					for j := 0; j < w; j++ {
+						acc[j] += ovVals[j] * xs[j]
+					}
+					continue
+				}
+				v := m.values[k]
+				for j := 0; j < w; j++ {
+					acc[j] += v * xs[j]
+				}
+			}
+			oi++
+		} else {
+			for k := lo; k < hi; k++ {
+				v := m.values[k]
+				c := int(m.colIdx[k]) * w
+				xs := x[c : c+w]
+				for j := 0; j < w; j++ {
+					acc[j] += v * xs[j]
+				}
+			}
+		}
+		copy(dst[i*w:i*w+w], acc[:w])
+	}
+}
+
+// mulVecBatch8 is mulVecBatch specialized to the production chunk width:
+// the eight column accumulators live in registers and each inner-loop
+// slice has compile-time length 8, so the bounds checks vanish and each
+// loaded matrix entry feeds eight fused multiply-adds off one cache line.
+// Per column the statement shape is acc[j] += v·x[c+j] in the same
+// k-order as the generic loop — the bits match.
+//
+//oftec:hotpath
+func mulVecBatch8(m *CSR, ovs []DiagOverride, dst, x []float64) {
+	oi := 0
+	for i := 0; i < m.n; i++ {
+		lo, hi := int(m.rowPtr[i]), int(m.rowPtr[i+1])
+		var a0, a1, a2, a3, a4, a5, a6, a7 float64
+		if oi < len(ovs) && int(ovs[oi].Row) == i {
+			ovK := int(ovs[oi].K)
+			ovVals := ovs[oi].Vals[:8]
+			for k := lo; k < hi; k++ {
+				c := int(m.colIdx[k]) * 8
+				xs := x[c : c+8 : c+8]
+				v := m.values[k]
+				if k == ovK {
+					a0 += ovVals[0] * xs[0]
+					a1 += ovVals[1] * xs[1]
+					a2 += ovVals[2] * xs[2]
+					a3 += ovVals[3] * xs[3]
+					a4 += ovVals[4] * xs[4]
+					a5 += ovVals[5] * xs[5]
+					a6 += ovVals[6] * xs[6]
+					a7 += ovVals[7] * xs[7]
+					continue
+				}
+				a0 += v * xs[0]
+				a1 += v * xs[1]
+				a2 += v * xs[2]
+				a3 += v * xs[3]
+				a4 += v * xs[4]
+				a5 += v * xs[5]
+				a6 += v * xs[6]
+				a7 += v * xs[7]
+			}
+			oi++
+		} else {
+			for k := lo; k < hi; k++ {
+				v := m.values[k]
+				c := int(m.colIdx[k]) * 8
+				xs := x[c : c+8 : c+8]
+				a0 += v * xs[0]
+				a1 += v * xs[1]
+				a2 += v * xs[2]
+				a3 += v * xs[3]
+				a4 += v * xs[4]
+				a5 += v * xs[5]
+				a6 += v * xs[6]
+				a7 += v * xs[7]
+			}
+		}
+		ds := dst[i*8 : i*8+8 : i*8+8]
+		ds[0], ds[1], ds[2], ds[3], ds[4], ds[5], ds[6], ds[7] = a0, a1, a2, a3, a4, a5, a6, a7
+	}
+}
+
+// applyBlock runs the IC(0) forward/backward triangular sweeps over w
+// interleaved columns at once: dst = (L·Lᵀ)⁻¹·r per column, touching the
+// factor pattern once for all columns. Per column the operations and
+// their order match ApplyScratch exactly.
+//
+//oftec:hotpath
+func (p *ICPreconditioner) applyBlock(dst, r, y, acc []float64, w int) {
+	if w == 8 {
+		p.applyBlock8(dst, r, y)
+		return
+	}
+	// Forward solve L·y = r (rows of L are sorted with the diagonal last).
+	for i := 0; i < p.n; i++ {
+		base := i * w
+		copy(acc[:w], r[base:base+w])
+		lo, hi := int(p.lRowPtr[i]), int(p.lRowPtr[i+1])
+		for k := lo; k < hi-1; k++ {
+			v := p.lValues[k]
+			c := int(p.lColIdx[k]) * w
+			ys := y[c : c+w]
+			for j := 0; j < w; j++ {
+				acc[j] -= v * ys[j]
+			}
+		}
+		d := p.lValues[hi-1]
+		for j := 0; j < w; j++ {
+			y[base+j] = acc[j] / d
+		}
+	}
+	// Backward solve Lᵀ·dst = y (row i of Lᵀ holds columns ≥ i, diagonal
+	// first).
+	for i := p.n - 1; i >= 0; i-- {
+		base := i * w
+		copy(acc[:w], y[base:base+w])
+		lo, hi := int(p.ltRowPtr[i]), int(p.ltRowPtr[i+1])
+		for k := lo + 1; k < hi; k++ {
+			v := p.ltValues[k]
+			c := int(p.ltColIdx[k]) * w
+			ds := dst[c : c+w]
+			for j := 0; j < w; j++ {
+				acc[j] -= v * ds[j]
+			}
+		}
+		d := p.ltValues[lo]
+		for j := 0; j < w; j++ {
+			dst[base+j] = acc[j] / d
+		}
+	}
+}
+
+// applyBlock8 is applyBlock at the production chunk width, with the
+// eight running residuals held in registers through each row's update
+// loop. Statement shape per column is unchanged (acc -= v·y, then /d in
+// the same k-order), so the bits match the generic sweep.
+//
+//oftec:hotpath
+func (p *ICPreconditioner) applyBlock8(dst, r, y []float64) {
+	// Forward solve L·y = r (rows of L are sorted with the diagonal last).
+	for i := 0; i < p.n; i++ {
+		base := i * 8
+		rs := r[base : base+8 : base+8]
+		a0, a1, a2, a3, a4, a5, a6, a7 := rs[0], rs[1], rs[2], rs[3], rs[4], rs[5], rs[6], rs[7]
+		lo, hi := int(p.lRowPtr[i]), int(p.lRowPtr[i+1])
+		for k := lo; k < hi-1; k++ {
+			v := p.lValues[k]
+			c := int(p.lColIdx[k]) * 8
+			ys := y[c : c+8 : c+8]
+			a0 -= v * ys[0]
+			a1 -= v * ys[1]
+			a2 -= v * ys[2]
+			a3 -= v * ys[3]
+			a4 -= v * ys[4]
+			a5 -= v * ys[5]
+			a6 -= v * ys[6]
+			a7 -= v * ys[7]
+		}
+		d := p.lValues[hi-1]
+		ys := y[base : base+8 : base+8]
+		ys[0], ys[1], ys[2], ys[3] = a0/d, a1/d, a2/d, a3/d
+		ys[4], ys[5], ys[6], ys[7] = a4/d, a5/d, a6/d, a7/d
+	}
+	// Backward solve Lᵀ·dst = y (row i of Lᵀ holds columns ≥ i, diagonal
+	// first).
+	for i := p.n - 1; i >= 0; i-- {
+		base := i * 8
+		ys := y[base : base+8 : base+8]
+		a0, a1, a2, a3, a4, a5, a6, a7 := ys[0], ys[1], ys[2], ys[3], ys[4], ys[5], ys[6], ys[7]
+		lo, hi := int(p.ltRowPtr[i]), int(p.ltRowPtr[i+1])
+		for k := lo + 1; k < hi; k++ {
+			v := p.ltValues[k]
+			c := int(p.ltColIdx[k]) * 8
+			ds := dst[c : c+8 : c+8]
+			a0 -= v * ds[0]
+			a1 -= v * ds[1]
+			a2 -= v * ds[2]
+			a3 -= v * ds[3]
+			a4 -= v * ds[4]
+			a5 -= v * ds[5]
+			a6 -= v * ds[6]
+			a7 -= v * ds[7]
+		}
+		d := p.ltValues[lo]
+		ds := dst[base : base+8 : base+8]
+		ds[0], ds[1], ds[2], ds[3] = a0/d, a1/d, a2/d, a3/d
+		ds[4], ds[5], ds[6], ds[7] = a4/d, a5/d, a6/d, a7/d
+	}
+}
+
+// dotColsInto computes out[j] = Σ_i a[i*w+j]·b[i*w+j], accumulating each
+// column in ascending i-order — the same order Dot uses.
+//
+//oftec:hotpath
+func dotColsInto(out, a, b []float64, w int) {
+	if w == 8 {
+		dotColsInto8(out, a, b)
+		return
+	}
+	for j := 0; j < w; j++ {
+		out[j] = 0
+	}
+	for base := 0; base+w <= len(a); base += w {
+		as, bs := a[base:base+w], b[base:base+w]
+		for j := 0; j < w; j++ {
+			out[j] += as[j] * bs[j]
+		}
+	}
+}
+
+// dotColsInto8 keeps the eight column accumulators in registers across
+// the whole sweep; each column still sums in ascending i-order.
+//
+//oftec:hotpath
+func dotColsInto8(out, a, b []float64) {
+	var a0, a1, a2, a3, a4, a5, a6, a7 float64
+	for base := 0; base+8 <= len(a); base += 8 {
+		as, bs := a[base:base+8:base+8], b[base:base+8:base+8]
+		a0 += as[0] * bs[0]
+		a1 += as[1] * bs[1]
+		a2 += as[2] * bs[2]
+		a3 += as[3] * bs[3]
+		a4 += as[4] * bs[4]
+		a5 += as[5] * bs[5]
+		a6 += as[6] * bs[6]
+		a7 += as[7] * bs[7]
+	}
+	os := out[0:8:8]
+	os[0], os[1], os[2], os[3], os[4], os[5], os[6], os[7] = a0, a1, a2, a3, a4, a5, a6, a7
+}
+
+// axpyCols computes y[i*w+j] += alpha[j]·x[i*w+j]. When anyInactive is
+// set, inactive columns are skipped entirely so a frozen column's vector
+// is never touched again — exactly as if its per-point solve had already
+// returned.
+//
+//oftec:hotpath
+func axpyCols(alpha []float64, x, y []float64, w int, inactive []bool, anyInactive bool) {
+	if !anyInactive {
+		if w == 8 {
+			al := alpha[0:8:8]
+			l0, l1, l2, l3, l4, l5, l6, l7 := al[0], al[1], al[2], al[3], al[4], al[5], al[6], al[7]
+			for base := 0; base+8 <= len(y); base += 8 {
+				xs, ys := x[base:base+8:base+8], y[base:base+8:base+8]
+				ys[0] += l0 * xs[0]
+				ys[1] += l1 * xs[1]
+				ys[2] += l2 * xs[2]
+				ys[3] += l3 * xs[3]
+				ys[4] += l4 * xs[4]
+				ys[5] += l5 * xs[5]
+				ys[6] += l6 * xs[6]
+				ys[7] += l7 * xs[7]
+			}
+			return
+		}
+		for base := 0; base+w <= len(y); base += w {
+			xs, ys := x[base:base+w], y[base:base+w]
+			for j := 0; j < w; j++ {
+				ys[j] += alpha[j] * xs[j]
+			}
+		}
+		return
+	}
+	if w == 8 {
+		// Frozen columns must not be written at all (a breakdown column
+		// may hold non-finite values that a masked multiply would smear),
+		// so the skip stays a branch — but hoisted into eight registers
+		// whose pattern is fixed for the whole sweep, which the branch
+		// predictor eats for free.
+		al, in := alpha[0:8:8], inactive[0:8:8]
+		l0, l1, l2, l3, l4, l5, l6, l7 := al[0], al[1], al[2], al[3], al[4], al[5], al[6], al[7]
+		i0, i1, i2, i3, i4, i5, i6, i7 := in[0], in[1], in[2], in[3], in[4], in[5], in[6], in[7]
+		for base := 0; base+8 <= len(y); base += 8 {
+			xs, ys := x[base:base+8:base+8], y[base:base+8:base+8]
+			if !i0 {
+				ys[0] += l0 * xs[0]
+			}
+			if !i1 {
+				ys[1] += l1 * xs[1]
+			}
+			if !i2 {
+				ys[2] += l2 * xs[2]
+			}
+			if !i3 {
+				ys[3] += l3 * xs[3]
+			}
+			if !i4 {
+				ys[4] += l4 * xs[4]
+			}
+			if !i5 {
+				ys[5] += l5 * xs[5]
+			}
+			if !i6 {
+				ys[6] += l6 * xs[6]
+			}
+			if !i7 {
+				ys[7] += l7 * xs[7]
+			}
+		}
+		return
+	}
+	for base := 0; base+w <= len(y); base += w {
+		xs, ys := x[base:base+w], y[base:base+w]
+		for j := 0; j < w; j++ {
+			if inactive[j] {
+				continue
+			}
+			ys[j] += alpha[j] * xs[j]
+		}
+	}
+}
+
+// updateDirCols computes p[i*w+j] = z[i*w+j] + beta[j]·p[i*w+j], the CG
+// search-direction update, per column in i-order.
+//
+//oftec:hotpath
+func updateDirCols(p, z, beta []float64, w int, inactive []bool, anyInactive bool) {
+	if !anyInactive {
+		if w == 8 {
+			bs := beta[0:8:8]
+			b0, b1, b2, b3, b4, b5, b6, b7 := bs[0], bs[1], bs[2], bs[3], bs[4], bs[5], bs[6], bs[7]
+			for base := 0; base+8 <= len(p); base += 8 {
+				ps, zs := p[base:base+8:base+8], z[base:base+8:base+8]
+				ps[0] = zs[0] + b0*ps[0]
+				ps[1] = zs[1] + b1*ps[1]
+				ps[2] = zs[2] + b2*ps[2]
+				ps[3] = zs[3] + b3*ps[3]
+				ps[4] = zs[4] + b4*ps[4]
+				ps[5] = zs[5] + b5*ps[5]
+				ps[6] = zs[6] + b6*ps[6]
+				ps[7] = zs[7] + b7*ps[7]
+			}
+			return
+		}
+		for base := 0; base+w <= len(p); base += w {
+			ps, zs := p[base:base+w], z[base:base+w]
+			for j := 0; j < w; j++ {
+				ps[j] = zs[j] + beta[j]*ps[j]
+			}
+		}
+		return
+	}
+	if w == 8 {
+		bt, in := beta[0:8:8], inactive[0:8:8]
+		b0, b1, b2, b3, b4, b5, b6, b7 := bt[0], bt[1], bt[2], bt[3], bt[4], bt[5], bt[6], bt[7]
+		i0, i1, i2, i3, i4, i5, i6, i7 := in[0], in[1], in[2], in[3], in[4], in[5], in[6], in[7]
+		for base := 0; base+8 <= len(p); base += 8 {
+			ps, zs := p[base:base+8:base+8], z[base:base+8:base+8]
+			if !i0 {
+				ps[0] = zs[0] + b0*ps[0]
+			}
+			if !i1 {
+				ps[1] = zs[1] + b1*ps[1]
+			}
+			if !i2 {
+				ps[2] = zs[2] + b2*ps[2]
+			}
+			if !i3 {
+				ps[3] = zs[3] + b3*ps[3]
+			}
+			if !i4 {
+				ps[4] = zs[4] + b4*ps[4]
+			}
+			if !i5 {
+				ps[5] = zs[5] + b5*ps[5]
+			}
+			if !i6 {
+				ps[6] = zs[6] + b6*ps[6]
+			}
+			if !i7 {
+				ps[7] = zs[7] + b7*ps[7]
+			}
+		}
+		return
+	}
+	for base := 0; base+w <= len(p); base += w {
+		ps, zs := p[base:base+w], z[base:base+w]
+		for j := 0; j < w; j++ {
+			if inactive[j] {
+				continue
+			}
+			ps[j] = zs[j] + beta[j]*ps[j]
+		}
+	}
+}
+
+// CGPrecondBatch solves the w systems A_j·x_j = b_j in lockstep under a
+// shared IC(0) preconditioner, where A_j is the base matrix a with the
+// per-column DiagOverride coefficients applied. b and x0 are interleaved
+// (node i, column j at i*w+j); x0 may be nil for a zero start. The
+// returned solutions are freshly allocated per column (they outlive the
+// workspace); stats[j] and ok[j] report each column's outcome. ok[j] =
+// false marks a breakdown or exhausted iteration budget — the caller
+// re-solves that column through its scalar ladder, which reproduces the
+// identical failure and handles it as the per-point path would.
+//
+// Per column the arithmetic is bit-identical to CGPrecond against the
+// patched matrix with the same preconditioner, start, and options:
+// batched and per-point solves return DeepEqual solutions and Stats.
+//
+//oftec:allocok one output slice per solved column plus pooled-workspace growth; the per-iteration kernels are the annotated hot paths
+func CGPrecondBatch(a *CSR, ovs []DiagOverride, b, x0 []float64, m *ICPreconditioner, w int, opts SolveOptions, ws *BatchWorkspace) ([][]float64, []Stats, []bool, error) {
+	n := a.N()
+	if w <= 0 {
+		return nil, nil, nil, fmt.Errorf("sparse: batch width %d must be positive", w)
+	}
+	if len(b) != n*w {
+		return nil, nil, nil, fmt.Errorf("sparse: batch rhs length %d does not match n·w = %d", len(b), n*w)
+	}
+	if x0 != nil && len(x0) != n*w {
+		return nil, nil, nil, fmt.Errorf("sparse: batch start length %d does not match n·w = %d", len(x0), n*w)
+	}
+	if m == nil {
+		return nil, nil, nil, fmt.Errorf("sparse: CGPrecondBatch requires a preconditioner")
+	}
+	for oi, ov := range ovs {
+		if len(ov.Vals) != w {
+			return nil, nil, nil, fmt.Errorf("sparse: override %d has %d values for width %d", oi, len(ov.Vals), w)
+		}
+		if oi > 0 && ov.Row <= ovs[oi-1].Row {
+			return nil, nil, nil, fmt.Errorf("sparse: overrides must be sorted by strictly ascending row (override %d row %d after %d)", oi, ov.Row, ovs[oi-1].Row)
+		}
+		if ov.Row < 0 || int(ov.Row) >= n || ov.K < int32(a.rowPtr[ov.Row]) || ov.K >= int32(a.rowPtr[ov.Row+1]) {
+			return nil, nil, nil, fmt.Errorf("sparse: override %d (row %d, k %d) outside the matrix pattern", oi, ov.Row, ov.K)
+		}
+	}
+	if ws == nil {
+		ws = &BatchWorkspace{}
+	}
+	ws.grow(n, w)
+
+	x, r, z, p, ap := ws.x, ws.r, ws.z, ws.p, ws.ap
+	if x0 != nil {
+		copy(x, x0)
+	} else {
+		for i := range x {
+			x[i] = 0
+		}
+	}
+
+	stats := make([]Stats, w)
+	ok := make([]bool, w)
+	inactive := ws.inactive
+	active := w
+
+	// r = b − A_j·x per column, matching CSR.Residual's op order.
+	mulVecBatch(a, ovs, r, x, w, ws.acc)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	dotColsInto(ws.bnorm, b, b, w)
+	for j := 0; j < w; j++ {
+		ws.bnorm[j] = math.Sqrt(ws.bnorm[j])
+		if ws.bnorm[j] == 0 {
+			// CGPrecond returns the start unchanged for a zero RHS.
+			inactive[j] = true
+			ok[j] = true
+			active--
+		}
+	}
+	anyInactive := active < w
+	tol := opts.tol()
+	maxIter := opts.maxIter(n)
+
+	if active > 0 {
+		m.applyBlock(z, r, ws.pre, ws.acc, w)
+		copy(p, z)
+		dotColsInto(ws.rz, r, z, w)
+	}
+
+	for it := 1; it <= maxIter && active > 0; it++ {
+		mulVecBatch(a, ovs, ap, p, w, ws.acc)
+		dotColsInto(ws.pap, p, ap, w)
+		for j := 0; j < w; j++ {
+			ws.alpha[j] = 0
+			if inactive[j] {
+				continue
+			}
+			pap := ws.pap[j]
+			if pap <= 0 || math.IsNaN(pap) {
+				// CGPrecond's breakdown: the scalar ladder re-solves this
+				// column and fails at the same iteration.
+				stats[j] = Stats{Iterations: it}
+				inactive[j] = true
+				anyInactive = true
+				active--
+				continue
+			}
+			ws.alpha[j] = ws.rz[j] / pap
+		}
+		if active == 0 {
+			break
+		}
+		axpyCols(ws.alpha, p, x, w, inactive, anyInactive)
+		for j := 0; j < w; j++ {
+			ws.nalpha[j] = -ws.alpha[j]
+		}
+		axpyCols(ws.nalpha, ap, r, w, inactive, anyInactive)
+		dotColsInto(ws.resnorm, r, r, w)
+		for j := 0; j < w; j++ {
+			if inactive[j] {
+				continue
+			}
+			res := math.Sqrt(ws.resnorm[j]) / ws.bnorm[j]
+			ws.resnorm[j] = res
+			if res <= tol {
+				stats[j] = Stats{Iterations: it, Residual: res}
+				ok[j] = true
+				inactive[j] = true
+				anyInactive = true
+				active--
+			}
+		}
+		if active == 0 {
+			break
+		}
+		m.applyBlock(z, r, ws.pre, ws.acc, w)
+		dotColsInto(ws.rzNew, r, z, w)
+		for j := 0; j < w; j++ {
+			ws.beta[j] = 0
+			if inactive[j] {
+				continue
+			}
+			ws.beta[j] = ws.rzNew[j] / ws.rz[j]
+			ws.rz[j] = ws.rzNew[j]
+		}
+		updateDirCols(p, z, ws.beta, w, inactive, anyInactive)
+	}
+
+	// Columns that exhausted the budget report the per-point
+	// no-convergence stats; ok stays false and the caller re-solves.
+	for j := 0; j < w; j++ {
+		if !inactive[j] {
+			stats[j] = Stats{Iterations: maxIter, Residual: ws.resnorm[j]}
+		}
+	}
+
+	out := make([][]float64, w)
+	for j := 0; j < w; j++ {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = x[i*w+j]
+		}
+		out[j] = col
+	}
+	return out, stats, ok, nil
+}
+
+// SolveBatch solves A·x_j = B[j] for every column against one shared
+// matrix and one IC(0) factorization, in lockstep. It is the multi-RHS
+// convenience over CGPrecondBatch for callers whose systems share every
+// coefficient (no per-column overrides); opts.X0 (when set) seeds every
+// column. ok[j] = false marks a column the lockstep solve could not
+// finish — re-solve it with CGPrecond (the failure reproduces).
+func SolveBatch(a *CSR, B [][]float64, m *ICPreconditioner, opts SolveOptions, ws *BatchWorkspace) ([][]float64, []Stats, []bool, error) {
+	w := len(B)
+	if w == 0 {
+		return nil, nil, nil, nil
+	}
+	n := a.N()
+	for j, col := range B {
+		if len(col) != n {
+			return nil, nil, nil, fmt.Errorf("sparse: batch rhs column %d has length %d, want %d", j, len(col), n)
+		}
+	}
+	b := make([]float64, n*w)
+	for j, col := range B {
+		for i, v := range col {
+			b[i*w+j] = v
+		}
+	}
+	var x0 []float64
+	if opts.X0 != nil {
+		if len(opts.X0) != n {
+			return nil, nil, nil, fmt.Errorf("sparse: batch start has length %d, want %d", len(opts.X0), n)
+		}
+		x0 = make([]float64, n*w)
+		for i, v := range opts.X0 {
+			for j := 0; j < w; j++ {
+				x0[i*w+j] = v
+			}
+		}
+	}
+	return CGPrecondBatch(a, nil, b, x0, m, w, opts, ws)
+}

@@ -286,6 +286,42 @@ func (c *FactorCache) IC(a *CSR) (*ICPreconditioner, bool) {
 	return ic, ic != nil
 }
 
+// ICVersioned returns the cached IC(0) preconditioner for value-version
+// v, invoking build on a miss. Unlike IC it does not need the matrix in
+// hand on a hit: callers whose matrices live in pooled scratch can defer
+// assembly (and keep the scratch alive) inside build, which both
+// constructs the canonical matrix and factorizes it. v == 0 builds
+// uncached; a build error is cached as a failure like IC does.
+//
+//oftec:allocok amortized O(nnz) factorization on a version miss; hits are lookup-only
+func (c *FactorCache) ICVersioned(v uint64, build func() (*ICPreconditioner, error)) (*ICPreconditioner, bool) {
+	if v == 0 {
+		ic, err := build()
+		return ic, err == nil && ic != nil
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[v]; ok {
+		c.mu.Unlock()
+		return e.ic, e.ic != nil
+	}
+	c.mu.Unlock()
+
+	// Build outside the lock, same rationale as IC: concurrent misses on
+	// different versions proceed in parallel, duplicated work on one
+	// version is harmless.
+	ic, err := build()
+	if err != nil {
+		ic = nil
+	}
+	c.mu.Lock()
+	if len(c.entries) >= c.capacity {
+		c.entries = make(map[uint64]factorEntry)
+	}
+	c.entries[v] = factorEntry{ic: ic}
+	c.mu.Unlock()
+	return ic, ic != nil
+}
+
 // Len reports the number of cached factorizations (test instrumentation).
 func (c *FactorCache) Len() int {
 	c.mu.Lock()

@@ -1,0 +1,321 @@
+package thermal
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// This file is the batched-evaluation equivalence suite: EvaluateBatch
+// and EvaluateZonedBatch are pure performance transforms, so their
+// results must be reflect.DeepEqual — bit-identical fields, Stats
+// included — to the per-point reference protocol: within each ω-group
+// the first point evaluates from a nil warm start and its solution seeds
+// the remaining points (the sweep warm-start carry), or an explicit warm
+// seeds everything.
+
+// batchGrid is a small sweep covering memo-cold points, repeated points,
+// and the fanless high-current runaway corner.
+func batchGrid(cfg Config) []BatchPoint {
+	var pts []BatchPoint
+	for _, omega := range []float64{120, 250, 0} {
+		for _, itec := range []float64{0, 0.8, cfg.TEC.MaxCurrent} {
+			pts = append(pts, BatchPoint{Omega: omega, ITEC: itec})
+		}
+	}
+	return pts
+}
+
+// perPointReference replays pts through the scalar per-point protocol on
+// the given model.
+func perPointReference(t *testing.T, m *Model, pts []BatchPoint, warm []float64) []*Result {
+	t.Helper()
+	out := make([]*Result, len(pts))
+	seeds := map[float64][]float64{}
+	seen := map[float64]bool{}
+	for i, p := range pts {
+		seed := warm
+		if warm == nil {
+			if !seen[p.Omega] {
+				seen[p.Omega] = true
+				r0, err := m.EvaluateWarm(p.Omega, p.ITEC, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out[i] = r0
+				if !r0.Runaway {
+					seeds[p.Omega] = r0.T
+				}
+				continue
+			}
+			seed = seeds[p.Omega]
+		}
+		res, err := m.EvaluateWarm(p.Omega, p.ITEC, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+func assertResultsDeepEqual(t *testing.T, label string, got, want []*Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("%s: point %d (ω=%g): batched result differs from per-point reference\n got %+v\nwant %+v",
+				label, i, want[i].Omega, got[i], want[i])
+		}
+	}
+}
+
+func TestEvaluateBatchMatchesPerPoint(t *testing.T) {
+	cfg := testConfig()
+	pts := batchGrid(cfg)
+
+	batched := benchModel(t, cfg, "Basicmath")
+	got, err := batched.EvaluateBatch(context.Background(), pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference := benchModel(t, cfg, "Basicmath")
+	want := perPointReference(t, reference, pts, nil)
+	assertResultsDeepEqual(t, "cold", got, want)
+
+	// With an explicit warm start every point seeds from it.
+	warmRes := want[0]
+	if warmRes.Runaway {
+		t.Fatal("first grid point unexpectedly ran away")
+	}
+	b2 := benchModel(t, cfg, "Basicmath")
+	got2, err := b2.EvaluateBatch(context.Background(), pts, warmRes.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := benchModel(t, cfg, "Basicmath")
+	want2 := perPointReference(t, r2, pts, warmRes.T)
+	assertResultsDeepEqual(t, "warm", got2, want2)
+}
+
+// TestEvaluateBatchSharesMemo: points already memoized answer from the
+// memo (pointer-identical results), and a batch populates the memo so
+// later per-point calls on the same model return the identical pointers.
+func TestEvaluateBatchSharesMemo(t *testing.T) {
+	cfg := testConfig()
+	m := benchModel(t, cfg, "Basicmath")
+	pre, err := m.Evaluate(250, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []BatchPoint{{250, 0}, {250, 0.8}, {250, 1.4}}
+	got, err := m.EvaluateBatch(context.Background(), pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != pre {
+		t.Error("memoized point re-solved in batch (pointer differs)")
+	}
+	for i, p := range pts {
+		solo, err := m.Evaluate(p.Omega, p.ITEC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if solo != got[i] {
+			t.Errorf("point %d: per-point call after batch returned a different pointer", i)
+		}
+	}
+}
+
+func TestEvaluateZonedBatchMatchesPerPoint(t *testing.T) {
+	cfg := testConfig()
+	batched := benchModel(t, cfg, "Basicmath")
+	reference := benchModel(t, cfg, "Basicmath")
+
+	assign := map[string]int{}
+	for i, u := range cfg.Floorplan.Units() {
+		assign[u.Name] = i % 2
+	}
+	zb, err := batched.NewZoning(assign, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zr, err := reference.NewZoning(assign, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var pts []ZonedPoint
+	for _, omega := range []float64{150, 250} {
+		for _, cur := range [][]float64{{0, 0}, {0.6, 1.2}, {1.4, 0.2}, {0.6, 1.2}} {
+			pts = append(pts, ZonedPoint{Omega: omega, Currents: cur})
+		}
+	}
+	got, err := batched.EvaluateZonedBatch(context.Background(), zb, pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := make([]*Result, len(pts))
+	seeds := map[float64][]float64{}
+	seen := map[float64]bool{}
+	for i, p := range pts {
+		var seed []float64
+		if seen[p.Omega] {
+			seed = seeds[p.Omega]
+		}
+		res, err := reference.EvaluateZonedWarm(p.Omega, zr, p.Currents, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+		if !seen[p.Omega] {
+			seen[p.Omega] = true
+			if !res.Runaway {
+				seeds[p.Omega] = res.T
+			}
+		}
+	}
+	assertResultsDeepEqual(t, "zoned", got, want)
+
+	// k=1 delegates to the scalar batch, like EvaluateZonedWarm delegates
+	// to EvaluateWarm.
+	one := map[string]int{}
+	for _, u := range cfg.Floorplan.Units() {
+		one[u.Name] = 0
+	}
+	z1, err := batched.NewZoning(one, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := []ZonedPoint{{Omega: 200, Currents: []float64{0.9}}}
+	gz, err := batched.EvaluateZonedBatch(context.Background(), z1, single, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := batched.EvaluateWarm(200, 0.9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gz[0] != gs {
+		t.Error("k=1 zoned batch did not share the scalar memo entry")
+	}
+}
+
+// TestEvaluateBatchSpansDynamicPowerFlush: a batch issued after a
+// SetDynamicPower flush must solve against the new power map, not the
+// stale memo, and still match per-point results under the new map.
+func TestEvaluateBatchSpansDynamicPowerFlush(t *testing.T) {
+	cfg := testConfig()
+	m := benchModel(t, cfg, "Basicmath")
+	pts := []BatchPoint{{200, 0}, {200, 0.7}, {200, 1.3}, {120, 0.7}}
+	before, err := m.EvaluateBatch(context.Background(), pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newMap := uniformMap(&cfg, 18)
+	if err := m.SetDynamicPower(newMap); err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.EvaluateBatch(context.Background(), pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if reflect.DeepEqual(after[i], before[i]) {
+			t.Errorf("point %d: batch after SetDynamicPower returned the pre-flush result", i)
+		}
+	}
+
+	ref, err := NewModel(cfg, newMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := perPointReference(t, ref, pts, nil)
+	assertResultsDeepEqual(t, "post-flush", after, want)
+}
+
+// countdownCtx reports cancellation only after Err has been consulted a
+// fixed number of times, so the batch runs its first chunks and is then
+// cancelled between chunks.
+type countdownCtx struct {
+	remaining int
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Done() <-chan struct{}       { return nil }
+func (c *countdownCtx) Value(any) any               { return nil }
+func (c *countdownCtx) Err() error {
+	if c.remaining > 0 {
+		c.remaining--
+		return nil
+	}
+	return context.Canceled
+}
+
+func TestEvaluateBatchCancelledMidBatch(t *testing.T) {
+	cfg := testConfig()
+	m := benchModel(t, cfg, "Basicmath")
+
+	// Already-cancelled context: nothing runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.EvaluateBatch(ctx, batchGrid(cfg), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context: err = %v, want context.Canceled", err)
+	}
+
+	// Cancelled mid-batch: the first ω-group proceeds, then the run stops
+	// with no results; the model stays healthy for the next call.
+	mid := &countdownCtx{remaining: 2}
+	if _, err := m.EvaluateBatch(mid, batchGrid(cfg), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-batch cancel: err = %v, want context.Canceled", err)
+	}
+	res, err := m.EvaluateBatch(context.Background(), batchGrid(cfg), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r == nil {
+			t.Fatalf("point %d nil after recovery from cancellation", i)
+		}
+	}
+}
+
+// TestEvaluateBatchValidation: malformed points and warm hints are
+// rejected before any solve.
+func TestEvaluateBatchValidation(t *testing.T) {
+	cfg := testConfig()
+	m := benchModel(t, cfg, "Basicmath")
+	if _, err := m.EvaluateBatch(context.Background(), []BatchPoint{{-1, 0}}, nil); err == nil {
+		t.Error("negative ω accepted")
+	}
+	if _, err := m.EvaluateBatch(context.Background(), []BatchPoint{{100, 1}}, make([]float64, 3)); err == nil {
+		t.Error("short warm accepted")
+	}
+	res, err := m.EvaluateBatch(context.Background(), nil, nil)
+	if err != nil || len(res) != 0 {
+		t.Errorf("empty batch: res=%v err=%v", res, err)
+	}
+	assign := map[string]int{}
+	for i, u := range cfg.Floorplan.Units() {
+		assign[u.Name] = i % 2
+	}
+	z, err := m.NewZoning(assign, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.EvaluateZonedBatch(context.Background(), nil, nil, nil); err == nil {
+		t.Error("nil zoning accepted")
+	}
+	if _, err := m.EvaluateZonedBatch(context.Background(), z, []ZonedPoint{{100, []float64{1}}}, nil); err == nil {
+		t.Error("current-count mismatch accepted")
+	}
+	if _, err := m.EvaluateZonedBatch(context.Background(), z, []ZonedPoint{{100, []float64{1, -2}}}, nil); err == nil {
+		t.Error("negative zone current accepted")
+	}
+}

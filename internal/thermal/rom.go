@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -57,6 +58,18 @@ type ROMOptions struct {
 	// Safety multiplies the largest validation-grid error to give the
 	// advertised bound (default 2).
 	Safety float64
+	// CacheDir, when set, enables basis persistence: construction first
+	// tries to load a serialized basis + calibration content-addressed by
+	// the model/options identity (see rompersist.go) from this directory,
+	// skipping the snapshot-collection and calibration sweeps entirely; a
+	// fresh build writes its basis back. Any load-time mismatch —
+	// corruption, stale format, different identity, failed re-validation —
+	// silently falls through to a full build.
+	CacheDir string
+	// CacheKey is folded into the identity hash, for callers whose model
+	// identity has components outside Config + dynamic power (e.g. the
+	// serving pool's canonical chip string).
+	CacheKey string
 	// MinBound floors the advertised bound (default 0.02 K). A basis that
 	// nails the validation grid to microkelvins would otherwise advertise
 	// a bound at solver-noise scale and reject perfectly good evaluations
@@ -151,7 +164,10 @@ type romScratch struct {
 
 // NewReducedModel builds a ROM over the model's operating box
 // [0, ΩMax] × [0, MaxCurrent]. It fails if the snapshot grid yields no
-// usable basis (for example, every snapshot in thermal runaway).
+// usable basis (for example, every snapshot in thermal runaway). With
+// ROMOptions.CacheDir set, a previously persisted basis with a matching
+// identity is loaded instead of collected (see rompersist.go), and a
+// fresh build persists its basis for the next restart.
 func NewReducedModel(m *Model, opts ROMOptions) (*ReducedModel, error) {
 	opts.setDefaults()
 	cfg := m.Config()
@@ -160,7 +176,32 @@ func NewReducedModel(m *Model, opts ROMOptions) (*ReducedModel, error) {
 	if omegaMax <= 0 {
 		return nil, fmt.Errorf("thermal: ROM needs a positive fan speed range, got ΩMax=%g", omegaMax)
 	}
+	if opts.CacheDir != "" {
+		if r, err := loadCachedROM(m, opts); err == nil {
+			return r, nil
+		}
+		// Any load failure — missing file, corruption, stale format,
+		// identity or bound mismatch — falls through to a full build.
+	}
+	r, err := buildReducedModel(m, opts, omegaMax, iMax)
+	if err != nil {
+		return nil, err
+	}
+	if opts.CacheDir != "" {
+		// Best effort: a failed write (read-only dir, disk full) costs the
+		// next restart a rebuild, never this construction.
+		//lint:ignore errdrop a failed cache write only costs the next restart a rebuild
+		_ = saveCachedROM(r, opts)
+	}
+	return r, nil
+}
 
+// newReducedShell captures the model-derived state shared by fresh
+// builds and cache loads: the affine base pieces and the pooled scratch
+// factory (which needs the rank, so callers invoke initScratch after the
+// basis exists).
+func newReducedShell(m *Model) (*ReducedModel, error) {
+	cfg := m.Config()
 	r := &ReducedModel{m: m, runawayT: cfg.runawayTemp(), g0: cfg.HeatSink.Conductance(0)}
 
 	// Capture the affine base: assemble once at (ω=0, I=0) with the linear
@@ -179,32 +220,61 @@ func NewReducedModel(m *Model, opts ROMOptions) (*ReducedModel, error) {
 	}
 	r.a0mat = a0mat
 	r.dynGen = m.dynGen.Load()
+	return r, nil
+}
 
-	// Snapshot sweep. Low fan speeds sit in the runaway wall (Figure 6's
-	// dark-red region); runaway snapshots carry no field and are skipped,
-	// and the smallest surviving ω becomes the ROM's floor.
-	var snaps [][]float64
-	r.omegaFloor = math.Inf(1)
+func (r *ReducedModel) initScratch() {
+	rank := r.rank
+	n := r.m.n
+	r.scratch.New = func() any {
+		s := &romScratch{
+			flat: make([]float64, rank*rank),
+			br:   make([]float64, rank),
+			work: make([]float64, n),
+		}
+		s.ar = make([][]float64, rank)
+		for i := range s.ar {
+			s.ar[i] = s.flat[i*rank : (i+1)*rank]
+		}
+		return s
+	}
+}
+
+func buildReducedModel(m *Model, opts ROMOptions, omegaMax, iMax float64) (*ReducedModel, error) {
+	r, err := newReducedShell(m)
+	if err != nil {
+		return nil, err
+	}
+
+	// Snapshot sweep, submitted as one batch: every ω-slice shares one
+	// assembly and one factorization (sparse.CGPrecondBatch). Low fan
+	// speeds sit in the runaway wall (Figure 6's dark-red region); runaway
+	// snapshots carry no field and are skipped, and the smallest surviving
+	// ω becomes the ROM's floor.
+	var pts []BatchPoint
 	for io := 0; io < opts.SnapshotOmegas; io++ {
 		omega := omegaMax * float64(io+1) / float64(opts.SnapshotOmegas)
-		covered := false
 		for ic := 0; ic < opts.SnapshotCurrents; ic++ {
 			itec := 0.0
 			if opts.SnapshotCurrents > 1 {
 				itec = iMax * float64(ic) / float64(opts.SnapshotCurrents-1)
 			}
-			res, err := m.Evaluate(omega, itec)
-			if err != nil {
-				return nil, fmt.Errorf("thermal: ROM snapshot (ω=%g, I=%g): %w", omega, itec, err)
-			}
-			if res.Runaway {
-				continue
-			}
-			covered = true
-			snaps = append(snaps, res.T)
+			pts = append(pts, BatchPoint{Omega: omega, ITEC: itec})
 		}
-		if covered && omega < r.omegaFloor {
-			r.omegaFloor = omega
+	}
+	snapRes, err := m.EvaluateBatch(context.Background(), pts, nil)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: ROM snapshot sweep: %w", err)
+	}
+	var snaps [][]float64
+	r.omegaFloor = math.Inf(1)
+	for k, res := range snapRes {
+		if res.Runaway {
+			continue
+		}
+		snaps = append(snaps, res.T)
+		if pts[k].Omega < r.omegaFloor {
+			r.omegaFloor = pts[k].Omega
 		}
 	}
 	if len(snaps) == 0 {
@@ -228,21 +298,7 @@ func NewReducedModel(m *Model, opts ROMOptions) (*ReducedModel, error) {
 		return nil, fmt.Errorf("thermal: ROM basis collapsed (degenerate snapshots)")
 	}
 	r.project()
-
-	rank := r.rank
-	n := m.n
-	r.scratch.New = func() any {
-		s := &romScratch{
-			flat: make([]float64, rank*rank),
-			br:   make([]float64, rank),
-			work: make([]float64, n),
-		}
-		s.ar = make([][]float64, rank)
-		for i := range s.ar {
-			s.ar[i] = s.flat[i*rank : (i+1)*rank]
-		}
-		return s
-	}
+	r.initScratch()
 
 	if err := r.calibrate(opts, omegaMax, iMax); err != nil {
 		return nil, err
@@ -348,42 +404,48 @@ func (r *ReducedModel) project() {
 }
 
 // calibrate measures the ROM against full solves on the held-out grid,
-// setting the advertised bound and the residual→error amplification.
+// setting the advertised bound and the residual→error amplification. The
+// full reference solves go through the batched evaluator — one assembly
+// and factorization per validation ω.
 func (r *ReducedModel) calibrate(opts ROMOptions, omegaMax, iMax float64) error {
-	var maxErr, maxKappa float64
-	valid := 0
+	var pts []BatchPoint
 	for io := 0; io < opts.ValidateOmegas; io++ {
 		// Midpoint offset relative to the snapshot ω grid.
 		omega := r.omegaFloor + (omegaMax-r.omegaFloor)*(float64(io)+0.5)/float64(opts.ValidateOmegas)
 		for ic := 0; ic < opts.ValidateCurrents; ic++ {
 			itec := iMax * (float64(ic) + 0.5) / float64(opts.ValidateCurrents)
-			full, err := r.m.Evaluate(omega, itec)
-			if err != nil {
-				return fmt.Errorf("thermal: ROM validation (ω=%g, I=%g): %w", omega, itec, err)
+			pts = append(pts, BatchPoint{Omega: omega, ITEC: itec})
+		}
+	}
+	fulls, err := r.m.EvaluateBatch(context.Background(), pts, nil)
+	if err != nil {
+		return fmt.Errorf("thermal: ROM validation sweep: %w", err)
+	}
+	var maxErr, maxKappa float64
+	valid := 0
+	for k, full := range fulls {
+		if full.Runaway {
+			continue
+		}
+		t, resNorm, ok := r.reducedSolve(pts[k].Omega, pts[k].ITEC)
+		if !ok {
+			continue
+		}
+		var errInf float64
+		nc := r.m.grids[planeChip].NumCells()
+		for i := 0; i < nc; i++ {
+			node := r.m.node(planeChip, i)
+			if d := math.Abs(t[node] - full.T[node]); d > errInf {
+				errInf = d
 			}
-			if full.Runaway {
-				continue
-			}
-			t, resNorm, ok := r.reducedSolve(omega, itec)
-			if !ok {
-				continue
-			}
-			var errInf float64
-			nc := r.m.grids[planeChip].NumCells()
-			for i := 0; i < nc; i++ {
-				node := r.m.node(planeChip, i)
-				if d := math.Abs(t[node] - full.T[node]); d > errInf {
-					errInf = d
-				}
-			}
-			valid++
-			if errInf > maxErr {
-				maxErr = errInf
-			}
-			if resNorm > 1e-12 {
-				if k := errInf / resNorm; k > maxKappa {
-					maxKappa = k
-				}
+		}
+		valid++
+		if errInf > maxErr {
+			maxErr = errInf
+		}
+		if resNorm > 1e-12 {
+			if k := errInf / resNorm; k > maxKappa {
+				maxKappa = k
 			}
 		}
 	}

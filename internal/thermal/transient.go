@@ -126,7 +126,7 @@ func (tr *Transient) Step(dt float64) (float64, error) {
 		sc.rhs[i] += cdt * tr.temps[i]
 	}
 	sc.mat.SetVersion(m.versionFor(verKey{omega: tr.omega, itec: tr.itec, dt: dt, linear: true}))
-	next, _, err := m.solveScratch(sc, tr.temps)
+	next, _, err := m.solveScratchOwn(sc, tr.temps)
 	if err != nil {
 		return 0, fmt.Errorf("thermal: transient solve failed at t=%g: %w", tr.now, err)
 	}

@@ -116,7 +116,7 @@ func (m *Model) EvaluateZonedWarm(omega float64, z *Zoning, currents []float64, 
 	} else {
 		sparse.Fill(sc.warm, m.cfg.Ambient)
 	}
-	t, stats, err := m.solveScratch(sc, sc.warm)
+	t, stats, err := m.solveScratch(sc, omega, sc.warm)
 	if err != nil || !m.physical(t) {
 		return m.runawayResult(omega, maxCur, stats), nil
 	}

@@ -2,8 +2,9 @@
 # check.sh — the full verification gate for this repository:
 #
 #   build → go vet → oftecvet (project static analysis) → concurrency
-#   tests with -race → full tests with -race → oftecd smoke (live daemon,
-#   every endpoint, clean SIGTERM shutdown) → parallel-sweep bench smoke
+#   tests with -race → batched-equivalence tests with -race → full tests
+#   with -race → oftecd smoke (live daemon, every endpoint, clean SIGTERM
+#   shutdown) → parallel-sweep bench smoke
 #
 # Run from anywhere inside the module; exits nonzero on the first failure.
 set -eu
@@ -68,6 +69,17 @@ go test -race \
 	-run 'SingleZoneMatchesScalarRun|Registry|FullScalarMatchesModel|ROM|MixedTraffic|BackendLeak|Binding|Quantized|Oversized|Waiter' \
 	./internal/core/... ./internal/backend/... ./internal/evalcache/... ./internal/thermal/... ./internal/lint/...
 
+# The batched-equivalence gate by name: blocked multi-RHS CG against the
+# scalar solver bitwise, EvaluateBatch against per-point DeepEqual
+# (scalar, zoned, mid-batch cancellation, dynamic-power flush spans),
+# the backend BatchEvaluator conformance contract, ROM basis persistence
+# round-trips, and the /statz counters — the set that keeps the batch
+# path interchangeable with the per-point path.
+echo "== go test -race (batched equivalence + basis persistence)"
+go test -race -run 'Batch|ROMPersist|Statz|DisableBatch|ROMCacheDir' \
+	./internal/sparse/... ./internal/thermal/... ./internal/backend/... \
+	./internal/core/... ./internal/serve/...
+
 echo "== go test -race ./..."
 go test -race ./...
 
@@ -104,6 +116,9 @@ curl -sf -X POST "http://$smokeaddr/v1/sweep" \
 curl -sf -X POST "http://$smokeaddr/v1/pareto" \
 	-d '{"tmax_c":[90]}' | jq -e '.points[0].feasible == true' >/dev/null
 curl -sf "http://$smokeaddr/stats" | jq -e '.cache.misses > 0' >/dev/null
+# The sweep above went through the blocked multi-RHS path; /statz must
+# show the batch traffic.
+curl -sf "http://$smokeaddr/statz" | jq -e '.batch.enabled and .batch.batches > 0' >/dev/null
 kill -TERM "$smokepid"
 if ! wait "$smokepid"; then
 	echo "check.sh: oftecd did not exit cleanly on SIGTERM" >&2
