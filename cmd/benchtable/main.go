@@ -171,9 +171,13 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, r := range rows {
-			fmt.Printf("  %-16s feasible=%-5t 𝒫=%.2f W  runtime=%-8v evals=%-6d converged=%-5t stopped=%s\n",
-				r.Method, r.Feasible, r.PowerW, r.Runtime.Round(time.Millisecond), r.FuncEvals,
-				r.Converged, r.Stopped)
+			grad := "finite-diff"
+			if r.Gradient {
+				grad = "adjoint"
+			}
+			fmt.Printf("  %-16s %-11s feasible=%-5t 𝒫=%.2f W  runtime=%-8v evals=%-6d grads=%-4d converged=%-5t stopped=%s\n",
+				r.Method, grad, r.Feasible, r.PowerW, r.Runtime.Round(time.Millisecond), r.FuncEvals,
+				r.GradEvals, r.Converged, r.Stopped)
 		}
 		fmt.Println()
 	}

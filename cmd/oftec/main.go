@@ -6,7 +6,7 @@
 //
 //	oftec [-bench Basicmath] [-mode oftec|var|fixed|teconly]
 //	      [-method sqp|interior|trust|neldermead|hooke] [-opt2] [-exact]
-//	      [-fallback] [-timeout 30s] [-trace]
+//	      [-grad] [-fallback] [-timeout 30s] [-trace]
 //	      [-res 16] [-tmax 90] [-ambient 45]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
@@ -41,6 +41,7 @@ func main() {
 		backendName = flag.String("backend", "", "evaluation backend: "+strings.Join(backend.Names(), ", ")+" (default full)")
 		opt2        = flag.Bool("opt2", false, "solve Optimization 2 only (minimize the maximum temperature)")
 		exact       = flag.Bool("exact", false, "verify the result with the exact exponential leakage model")
+		grad        = flag.Bool("grad", false, "steer gradient-based methods with adjoint gradients (smoothed-max objective) instead of finite differences")
 
 		fallback = flag.Bool("fallback", false, "on non-convergence, retry with the solver fallback chain (method, then sqp → interior → hooke)")
 		timeout  = flag.Duration("timeout", 0, "bound the whole solve; on expiry the best point found so far is reported (0 = none)")
@@ -132,6 +133,7 @@ func main() {
 		log.Fatalf("unknown method %q", *method)
 	}
 	opts.Fallback = *fallback
+	opts.Gradient = *grad
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
@@ -174,6 +176,11 @@ func main() {
 	}
 	fmt.Println(out)
 	fmt.Printf("  solver verdict      opt2: %s, opt1: %s\n", reportVerdict(out.Opt2Report), reportVerdict(out.Opt1Report))
+	if *grad {
+		fmt.Printf("  adjoint gradients   opt2: %d, opt1: %d (evaluations: %d + %d)\n",
+			out.Opt2Report.GradEvals, out.Opt1Report.GradEvals,
+			out.Opt2Report.FuncEvals, out.Opt1Report.FuncEvals)
+	}
 	if out.Result != nil && !out.Result.Runaway {
 		r := out.Result
 		fmt.Printf("\n  𝒯 (max chip temp)   %.2f °C\n", units.KToC(r.MaxChipTemp))

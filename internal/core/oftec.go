@@ -56,6 +56,19 @@ type Options struct {
 	// pool to GOMAXPROCS; one forces the serial reference path. Results
 	// are identical either way.
 	Workers int
+	// Gradient steers the gradient-based solver methods with exact adjoint
+	// gradients from the backend (see backend.GradientOf) instead of
+	// finite differences, collapsing the 2(1+k) probe evaluations per
+	// derivative into one adjoint pair on the already-factored system. The
+	// thermal objective and constraint switch to the log-sum-exp smoothed
+	// maximum 𝒯_τ the adjoint differentiates — an over-estimate of the
+	// true maximum by at most thermal.DefaultSmoothBound (0.05 K), so
+	// feasibility claims stay conservative. Backends without the
+	// capability anywhere in their fall-through chain, and the
+	// derivative-free methods, silently stay on finite differences; an
+	// approximate backend (rom) evaluates the objectives itself but
+	// borrows its authoritative sibling's gradients.
+	Gradient bool
 	// Fallback runs each optimization through the solver fallback chain
 	// (selected method first, then SQP → interior point → Hooke-Jeeves
 	// with the duplicate removed): when a stage fails to converge to a
@@ -232,6 +245,19 @@ func (s *System) runVector(bnd *evalcache.Binding, k int, opts Options) (*vecOut
 	tempCons := func(x []float64) float64 { return maxTempObj(eval, x) - tMaxSolve }
 	powerObj := func(x []float64) float64 { return coolingPowerObj(eval, x) }
 
+	// Gradient mode: when the binding's backend chain offers adjoint
+	// gradients, install them on the solver options and align the thermal
+	// objective/constraint with the smoothed maximum the adjoint
+	// differentiates.
+	var gm *gradMemo
+	if opts.Gradient {
+		if ge, ok := backend.GradientOf(bnd); ok {
+			gm = newGradMemo(ge)
+			tempObj = func(x []float64) float64 { return smoothTempObj(eval, x) }
+			tempCons = func(x []float64) float64 { return smoothTempObj(eval, x) - tMaxSolve }
+		}
+	}
+
 	// Both phases solve through one runner: the bare method, or the
 	// fallback chain when requested. MultiStart composes by running the
 	// chain from each start.
@@ -252,6 +278,9 @@ func (s *System) runVector(bnd *evalcache.Binding, k int, opts Options) (*vecOut
 	if t1 > tMaxSolve || opts.SkipOpt1 {
 		p2 := &solver.Problem{F: tempObj, Lower: lower, Upper: upper}
 		o2 := opts.Solver
+		if gm != nil {
+			o2.Grad = gm.tempGrad
+		}
 		if !opts.SkipOpt1 {
 			// Algorithm 1 line 3: stop Optimization 2 early once feasible.
 			prev := opts.Solver.StopWhen
@@ -299,6 +328,11 @@ func (s *System) runVector(bnd *evalcache.Binding, k int, opts Options) (*vecOut
 		Lower: lower,
 		Upper: upper,
 	}
+	so1 := opts.Solver
+	if gm != nil {
+		so1.Grad = gm.powerGrad
+		so1.ConsGrad = []solver.GradFunc{gm.tempGrad}
+	}
 	var rep solver.Report
 	if opts.MultiStart {
 		starts, serr := solver.CornerStarts(p1, 0.05)
@@ -308,15 +342,14 @@ func (s *System) runVector(bnd *evalcache.Binding, k int, opts Options) (*vecOut
 		// The feasible point from phase 2 leads the list so the plain
 		// Algorithm 1 path is always among the candidates.
 		starts = append([][]float64{x1}, starts...)
-		so := opts.Solver
-		if so.Workers == 0 {
+		if so1.Workers == 0 {
 			// The cached objectives are safe for concurrent use, so the
 			// corner launch fans out unless the caller pinned a width.
-			so.Workers = parallel.Workers(opts.Workers)
+			so1.Workers = parallel.Workers(opts.Workers)
 		}
-		rep, err = solver.MultiStart(solve, p1, starts, so)
+		rep, err = solver.MultiStart(solve, p1, starts, so1)
 	} else {
-		rep, err = solve(p1, x1, opts.Solver)
+		rep, err = solve(p1, x1, so1)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: optimization 1 failed: %w", err)

@@ -36,7 +36,12 @@ type ParetoPoint struct {
 // serial path short-circuits and never solves below the first infeasible
 // threshold, while the parallel path probes all thresholds and applies
 // the same cut as a post-pass, discarding any solver artifact below the
-// frontier. Both paths therefore return identical fronts.
+// frontier. Errors follow the same rule: a parallel probe that fails on a
+// threshold the serial path would never have solved (below the frontier)
+// is discarded with its point, so the two paths return identical fronts
+// AND identical error outcomes — a backend that only misbehaves in the
+// deep-infeasible region cannot fail the parallel front while the serial
+// one succeeds.
 func (s *System) ParetoFront(tmaxValues []float64, opts Options) ([]ParetoPoint, error) {
 	if len(tmaxValues) == 0 {
 		return nil, fmt.Errorf("core: Pareto sweep needs at least one threshold")
@@ -76,13 +81,19 @@ func (s *System) ParetoFront(tmaxValues []float64, opts Options) ([]ParetoPoint,
 	// thresholds, and each in-flight Run already honors the same context
 	// at its iteration boundaries.
 	out := make([]ParetoPoint, len(sorted))
+	errs := make([]error, len(sorted))
 	err := parallel.ForEach(ctx, len(sorted), workers, func(i int) error {
 		tmax := sorted[i]
 		o := opts
 		o.TMax = tmax
-		res, err := s.Run(o)
+		res, err := s.paretoRun(o)
 		if err != nil {
-			return fmt.Errorf("core: Pareto threshold %g K: %w", tmax, err)
+			// Don't fail the fan-out here: whether this error matters
+			// depends on where the monotonicity cut lands, which is only
+			// known once every looser threshold has reported. The post-pass
+			// below surfaces exactly the errors the serial path would hit.
+			errs[i] = err
+			return nil
 		}
 		pt := ParetoPoint{TMax: tmax}
 		if res.Feasible {
@@ -97,19 +108,36 @@ func (s *System) ParetoFront(tmaxValues []float64, opts Options) ([]ParetoPoint,
 	if err != nil {
 		return nil, err
 	}
-	// Monotonicity post-pass: below the first infeasible threshold the
-	// serial path never solves, so blank any speculative result there —
-	// an approximate solver might otherwise report a tighter threshold
-	// "feasible" under a looser infeasible one.
+	// Monotonicity post-pass in descending threshold order: below the
+	// first infeasible threshold the serial path never solves, so blank
+	// any speculative result — or swallow any speculative error — there.
+	// An error at or above the frontier is one the serial path would have
+	// hit (it solves every threshold down to and including the first
+	// infeasible one), and the first such error in descending order is the
+	// one the serial path reports.
 	infeasibleBelow := false
 	for i := range out {
 		if infeasibleBelow {
 			out[i] = ParetoPoint{TMax: sorted[i]}
-		} else if !out[i].Feasible {
+			continue
+		}
+		if errs[i] != nil {
+			return nil, fmt.Errorf("core: Pareto threshold %g K: %w", sorted[i], errs[i])
+		}
+		if !out[i].Feasible {
 			infeasibleBelow = true
 		}
 	}
 	return out, nil
+}
+
+// paretoRun dispatches one threshold's solve: the test seam when
+// installed, the real Algorithm 1 run otherwise.
+func (s *System) paretoRun(o Options) (*Outcome, error) {
+	if h := s.paretoRunHook; h != nil {
+		return h(o)
+	}
+	return s.Run(o)
 }
 
 // paretoSerial is the reference implementation: descending thresholds
@@ -128,7 +156,7 @@ func (s *System) paretoSerial(sorted []float64, opts Options) ([]ParetoPoint, er
 		if !infeasibleBelow {
 			o := opts
 			o.TMax = tmax
-			res, err := s.Run(o)
+			res, err := s.paretoRun(o)
 			if err != nil {
 				return nil, fmt.Errorf("core: Pareto threshold %g K: %w", tmax, err)
 			}

@@ -175,6 +175,11 @@ type System struct {
 	// miss. Test instrumentation only; set before any traffic.
 	solveHook func(omega, itec float64)
 
+	// paretoRunHook, when non-nil, replaces Run for ParetoFront's
+	// per-threshold solves, so tests can fault-inject specific thresholds.
+	// Test instrumentation only; set before any traffic.
+	paretoRunHook func(o Options) (*Outcome, error)
+
 	// batchOff disables the blocked evaluation paths (see SetBatching);
 	// the zero value keeps batching on.
 	batchOff atomic.Bool

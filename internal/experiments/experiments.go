@@ -353,13 +353,19 @@ func Table2(s Setup) ([]Table2Row, error) {
 
 // SolverRow is one line of the Section 5.2 solver comparison.
 type SolverRow struct {
-	Method   core.Method
+	Method core.Method
+	// Gradient marks rows where the method was steered by adjoint
+	// gradients (core.Options.Gradient) instead of finite differences.
+	Gradient bool
 	Feasible bool
 	PowerW   float64
 	Runtime  time.Duration
 	// FuncEvals totals objective/constraint evaluations across both
 	// optimization phases.
 	FuncEvals int
+	// GradEvals totals adjoint gradient evaluations across both phases
+	// (zero on finite-difference rows and derivative-free methods).
+	GradEvals int
 	// Converged and Stopped report the Optimization 1 solve's verdict
 	// (see solver.Report); a method can land on a feasible point without
 	// a convergence claim, which the paper's table would otherwise hide.
@@ -369,29 +375,39 @@ type SolverRow struct {
 
 // SolverComparison runs Algorithm 1 on one benchmark with each NLP method
 // (the paper compared active-set SQP, interior point, and trust region and
-// chose SQP; Nelder-Mead is included as a derivative-free reference).
+// chose SQP; Nelder-Mead is included as a derivative-free reference). The
+// gradient-based methods appear twice: once on finite differences and
+// once steered by adjoint gradients, so the table shows what the exact
+// derivatives buy each of them.
 func SolverComparison(s Setup, benchName string) ([]SolverRow, error) {
 	sys, err := s.System(benchName)
 	if err != nil {
 		return nil, err
 	}
-	methods := []core.Method{
-		core.MethodSQP, core.MethodInteriorPoint,
-		core.MethodTrustRegion, core.MethodNelderMead,
-		core.MethodHookeJeeves,
+	methods := []struct {
+		m    core.Method
+		grad bool
+	}{
+		{core.MethodSQP, false}, {core.MethodSQP, true},
+		{core.MethodInteriorPoint, false}, {core.MethodInteriorPoint, true},
+		{core.MethodTrustRegion, false}, {core.MethodTrustRegion, true},
+		{core.MethodNelderMead, false},
+		{core.MethodHookeJeeves, false},
 	}
 	var rows []SolverRow
-	for _, m := range methods {
-		out, err := sys.Run(core.Options{Mode: core.ModeHybrid, Method: m})
+	for _, mc := range methods {
+		out, err := sys.Run(core.Options{Mode: core.ModeHybrid, Method: mc.m, Gradient: mc.grad})
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, SolverRow{
-			Method:    m,
+			Method:    mc.m,
+			Gradient:  mc.grad,
 			Feasible:  out.Feasible,
 			PowerW:    out.CoolingPower(),
 			Runtime:   out.Runtime,
 			FuncEvals: out.Opt1Report.FuncEvals + out.Opt2Report.FuncEvals,
+			GradEvals: out.Opt1Report.GradEvals + out.Opt2Report.GradEvals,
 			Converged: out.Opt1Report.Converged,
 			Stopped:   out.Opt1Report.Stopped,
 		})

@@ -238,17 +238,31 @@ func TestSolverComparison(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 {
-		t.Fatalf("got %d rows, want 5", len(rows))
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8 (FD and gradient variants of the 3 gradient-based methods, plus 2 derivative-free)", len(rows))
 	}
-	var sqp SolverRow
+	var sqp, sqpGrad SolverRow
 	for _, r := range rows {
 		if r.Method == core.MethodSQP {
-			sqp = r
+			if r.Gradient {
+				sqpGrad = r
+			} else {
+				sqp = r
+			}
 		}
 		if !r.Feasible {
-			t.Errorf("%s: infeasible", r.Method)
+			t.Errorf("%s (gradient=%t): infeasible", r.Method, r.Gradient)
 		}
+		if !r.Gradient && r.GradEvals != 0 {
+			t.Errorf("%s: finite-difference row reports %d gradient evaluations", r.Method, r.GradEvals)
+		}
+	}
+	if sqpGrad.GradEvals == 0 {
+		t.Error("gradient-mode SQP row reports zero adjoint evaluations")
+	}
+	if sqpGrad.FuncEvals >= sqp.FuncEvals {
+		t.Errorf("gradient-mode SQP used %d function evaluations, FD used %d — adjoint should need fewer",
+			sqpGrad.FuncEvals, sqp.FuncEvals)
 	}
 	// Section 5.2: the active-set SQP produces high-quality results — it
 	// must be within half a watt of the best method here.

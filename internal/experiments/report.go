@@ -89,7 +89,7 @@ func (r *Report) WriteMarkdown(w io.Writer) error {
 		}
 	}
 
-	if err := p("\n## Table 2 — OFTEC operating points and runtimes\n\n"+
+	if err := p("\n## Table 2 — OFTEC operating points and runtimes\n\n" +
 		"| benchmark | I*_TEC (A) | ω* (RPM) | runtime |\n|---|---|---|---|\n"); err != nil {
 		return err
 	}
@@ -116,12 +116,16 @@ func (r *Report) WriteMarkdown(w io.Writer) error {
 	}
 
 	if err := p("\n## Solver comparison on %s (Section 5.2)\n\n"+
-		"| method | feasible | 𝒫 (W) | runtime | evaluations |\n|---|---|---|---|---|\n", r.SolverBenchmark); err != nil {
+		"| method | gradients | feasible | 𝒫 (W) | runtime | evaluations | ∇-evaluations |\n|---|---|---|---|---|---|---|\n", r.SolverBenchmark); err != nil {
 		return err
 	}
 	for _, s := range r.Solvers {
-		if err := p("| %s | %t | %.2f | %v | %d |\n",
-			s.Method, s.Feasible, s.PowerW, s.Runtime.Round(time.Millisecond), s.FuncEvals); err != nil {
+		grad := "finite-diff"
+		if s.Gradient {
+			grad = "adjoint"
+		}
+		if err := p("| %s | %s | %t | %.2f | %v | %d | %d |\n",
+			s.Method, grad, s.Feasible, s.PowerW, s.Runtime.Round(time.Millisecond), s.FuncEvals, s.GradEvals); err != nil {
 			return err
 		}
 	}

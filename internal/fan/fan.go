@@ -38,6 +38,15 @@ func (f Fan) Power(omega float64) float64 {
 	return f.C * omega * omega * omega
 }
 
+// DPowerDOmega returns dP_fan/dω = 3·c·ω², the explicit fan term of the
+// power objective's gradient; zero on the clamped branch ω ≤ 0.
+func (f Fan) DPowerDOmega(omega float64) float64 {
+	if omega <= 0 {
+		return 0
+	}
+	return 3 * f.C * omega * omega
+}
+
 // HeatSinkModel is the collective thermal conductance of heat sink plus fan
 // as a function of fan speed (Equation (9)): g = p·ln(q·ω) + r for large ω,
 // saturating below at the natural-convection conductance g_HS.

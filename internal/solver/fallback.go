@@ -50,7 +50,7 @@ func Fallback(chain []NamedRunner, p *Problem, x0 []float64, opts Options) (Repo
 	best := Report{F: math.Inf(1), MaxViolation: math.Inf(1)}
 	haveBest := false
 	var firstErr error
-	var totalEvals, totalIters int
+	var totalEvals, totalGrads, totalIters int
 
 	start := append([]float64(nil), x0...)
 	for _, stage := range chain {
@@ -62,6 +62,7 @@ func Fallback(chain []NamedRunner, p *Problem, x0 []float64, opts Options) (Repo
 			continue
 		}
 		totalEvals += rep.FuncEvals
+		totalGrads += rep.GradEvals
 		totalIters += rep.Iterations
 		if !haveBest || betterReport(rep, best, feasTol) {
 			best = rep
@@ -92,6 +93,7 @@ func Fallback(chain []NamedRunner, p *Problem, x0 []float64, opts Options) (Repo
 		return Report{}, fmt.Errorf("solver: fallback chain produced no result")
 	}
 	best.FuncEvals = totalEvals
+	best.GradEvals = totalGrads
 	best.Iterations = totalIters
 	return best, nil
 }

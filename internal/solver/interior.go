@@ -37,9 +37,18 @@ func InteriorPoint(p *Problem, x0 []float64, opts Options) (Report, error) {
 		return x
 	}
 
+	// uz is the per-axis upper bound in scaled space: 1, or 0 for a pinned
+	// variable (Upper == Lower), whose axis must never move.
+	uz := make([]float64, n)
+	for i := range uz {
+		uz[i] = 1
+		if p.pinned(i) {
+			uz[i] = 0
+		}
+	}
 	z := make([]float64, n)
 	for i := range z {
-		z[i] = math.Min(1, math.Max(0, (x0[i]-p.Lower[i])/span[i]))
+		z[i] = math.Min(uz[i], math.Max(0, (x0[i]-p.Lower[i])/span[i]))
 	}
 
 	// psi is the extrapolated log barrier: -mu*ln(-c) while c ≤ -mu,
@@ -51,6 +60,14 @@ func InteriorPoint(p *Problem, x0 []float64, opts Options) (Report, error) {
 		// Value and slope matched at c = -mu: value -mu*ln(mu), slope 1.
 		d := c + mu
 		return -mu*math.Log(mu) + d + d*d/(2*mu)
+	}
+	// psiPrime is dψ/dc: -mu/c on the log branch, the matched linear slope
+	// on the quadratic continuation.
+	psiPrime := func(c, mu float64) float64 {
+		if c <= -mu {
+			return -mu / c
+		}
+		return 1 + (c+mu)/mu
 	}
 
 	// Barrier objective in scaled space.
@@ -75,13 +92,68 @@ func InteriorPoint(p *Problem, x0 []float64, opts Options) (Report, error) {
 		return f
 	}
 
+	gradEvals := 0
+	// gradAnalytic assembles the exact barrier gradient from Options.Grad
+	// and Options.ConsGrad: ∇φ_z = span∘(∇F + Σψ'(c_i)∇c_i) plus the box
+	// barrier terms, which are analytic by construction. It returns nil —
+	// sending the caller back to finite differences — when any piece is
+	// unavailable or declines: a half-analytic composite would drift
+	// against the finite-difference pieces and wreck the BFGS pairs.
+	gradAnalytic := func(zz []float64, mu float64) []float64 {
+		if opts.Grad == nil {
+			return nil
+		}
+		x := toX(zz)
+		gx := opts.Grad(x)
+		if gx == nil {
+			return nil
+		}
+		gradEvals++
+		g := scaleToZ(gx, span, p)
+		for i := range p.Cons {
+			var gc []float64
+			if i < len(opts.ConsGrad) && opts.ConsGrad[i] != nil {
+				gc = opts.ConsGrad[i](x)
+			}
+			if gc == nil {
+				return nil
+			}
+			gradEvals++
+			dpsi := psiPrime(p.evalCons(i, x, &evals), mu)
+			for j := 0; j < n; j++ {
+				if p.pinned(j) {
+					continue
+				}
+				g[j] += dpsi * gc[j] * span[j]
+			}
+		}
+		for i := 0; i < n; i++ {
+			if p.pinned(i) {
+				g[i] = 0
+				continue
+			}
+			g[i] += -psiPrime(edge-zz[i], mu) + psiPrime(zz[i]-1+edge, mu)
+		}
+		return g
+	}
+
+	// minStep is the scaled-space finite-difference floor that keeps the
+	// two probes on distinct keys of a 1e-9-quantized evaluation cache
+	// (see quantRelStep).
+	minStep := scaledGradMinStep(p, span)
 	grad := func(z []float64, mu float64, f0 float64) []float64 {
+		if g := gradAnalytic(z, mu); g != nil {
+			return g
+		}
 		g := make([]float64, n)
 		h := opts.fdStep()
 		zp := make([]float64, n)
 		copy(zp, z)
 		for i := 0; i < n; i++ {
-			step := math.Max(h, 1e-9)
+			if p.pinned(i) {
+				continue // pinned axis: the derivative along it is zero
+			}
+			step := math.Max(math.Max(h, 1e-9), minStep[i])
 			zp[i] = z[i] + step
 			fHi := barrier(zp, mu)
 			zp[i] = z[i] - step
@@ -151,7 +223,7 @@ outer:
 			for alpha >= 1e-10 {
 				cand := make([]float64, n)
 				for i := range cand {
-					cand[i] = math.Min(1, math.Max(0, z[i]+alpha*d[i]))
+					cand[i] = math.Min(uz[i], math.Max(0, z[i]+alpha*d[i]))
 				}
 				fNew = barrier(cand, mu)
 				armijo := fNew < f-1e-6*alpha*math.Abs(dot(g, d))
@@ -195,6 +267,7 @@ outer:
 					report.Iterations = totalIter
 					report.MaxViolation = p.maxViolation(x, &evals)
 					report.FuncEvals = evals
+					report.GradEvals = gradEvals
 					return report, nil
 				}
 			}
@@ -221,5 +294,6 @@ outer:
 		}
 	}
 	report.FuncEvals = evals
+	report.GradEvals = gradEvals
 	return report, nil
 }

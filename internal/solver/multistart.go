@@ -106,10 +106,11 @@ func MultiStart(run Runner, p *Problem, starts [][]float64, opts Options) (Repor
 	// Deterministic reduction in start order, regardless of how the
 	// reports were produced.
 	best := Report{F: math.Inf(1), MaxViolation: math.Inf(1)}
-	var totalEvals, totalIters int
+	var totalEvals, totalGrads, totalIters int
 	feasTol := opts.tol()
 	for _, rep := range reps {
 		totalEvals += rep.FuncEvals
+		totalGrads += rep.GradEvals
 		totalIters += rep.Iterations
 
 		if betterReport(rep, best, feasTol) {
@@ -125,6 +126,7 @@ func MultiStart(run Runner, p *Problem, starts [][]float64, opts Options) (Repor
 		}
 	}
 	best.FuncEvals = totalEvals
+	best.GradEvals = totalGrads
 	best.Iterations = totalIters
 	if opts.cancelled() {
 		// Launch-wide verdict: even if the incumbent start converged before

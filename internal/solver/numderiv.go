@@ -10,10 +10,55 @@ import "math"
 // (Infeasible − fx)/h would be ~1e17 and wrecks the Hessian model.
 const sliverSlope = 1e6
 
+// quantRelStep is the minimum finite-difference probe separation, relative
+// to the variable's magnitude scale max(1, |Lower|, |Upper|), that keeps
+// two probes on distinct keys of an evaluation cache quantized to a 1e-9
+// coordinate grid (core's memo rounds every coordinate to
+// round(v·1e9)/1e9). Probes closer than the grid spacing alias to the same
+// cache entry and the difference quotient collapses to an exact zero.
+const quantRelStep = 2e-9
+
+// minFDStep returns the absolute finite-difference floor for a variable
+// with the given bounds, in the variable's own units.
+func minFDStep(lo, hi float64) float64 {
+	scale := math.Max(1, math.Max(math.Abs(lo), math.Abs(hi)))
+	return quantRelStep * scale
+}
+
+// scaledGradMinStep maps the x-space finite-difference floors of p onto a
+// unit-box scaled problem: a z-step of m/span_i moves x_i by m. The
+// iterative solvers install the result as their scaled problem's
+// GradMinStep so cache-quantization aliasing cannot zero out gradients on
+// problems with tiny variable spans.
+func scaledGradMinStep(p *Problem, span []float64) []float64 {
+	steps := make([]float64, p.Dim())
+	for i := range steps {
+		steps[i] = minFDStep(p.Lower[i], p.Upper[i]) / span[i]
+	}
+	return steps
+}
+
+// scaleToZ converts an x-space gradient (as returned by a GradFunc) to the
+// unit-box z-space of a solver's internal scaling: ∂f/∂z_i = span_i·∂f/∂x_i.
+// Pinned axes (Upper == Lower in the original problem) are zeroed — their x
+// never moves, so the scaled derivative is identically zero.
+func scaleToZ(gx, span []float64, p *Problem) []float64 {
+	g := make([]float64, len(gx))
+	for i := range g {
+		if p.pinned(i) {
+			continue
+		}
+		g[i] = gx[i] * span[i]
+	}
+	return g
+}
+
 // gradient approximates ∇f at x with central differences, falling back to
 // one-sided differences at box edges or when a probe point evaluates to the
 // Infeasible sentinel (e.g. probing into a thermal-runaway region). The
-// step for variable i is h_i = fdStep·(Upper_i − Lower_i), floored at 1e-10.
+// step for variable i is h_i = fdStep·(Upper_i − Lower_i), floored at 1e-10
+// and at GradMinStep_i when set. A pinned variable (Upper_i == Lower_i)
+// gets a zero derivative without spending any evaluations.
 //
 // When finite differencing degenerates, a synthetic slope of magnitude
 // sliverSlope stands in for the unknown derivative:
@@ -30,9 +75,22 @@ func (p *Problem) gradient(f Func, x []float64, fx float64, fdStep float64, eval
 	xp := make([]float64, n)
 	copy(xp, x)
 	for i := 0; i < n; i++ {
+		if p.pinned(i) {
+			// Degenerate (pinned) bounds freeze this axis: no step can stay
+			// inside the box, so the floored probes below would both land
+			// outside and the sliver branch would fabricate a ±sliverSlope
+			// on a variable that cannot move, poisoning the BFGS curvature
+			// pairs and every descent direction built from them. The only
+			// honest derivative along a frozen axis is zero.
+			g[i] = 0
+			continue
+		}
 		h := fdStep * (p.Upper[i] - p.Lower[i])
 		if h < 1e-10 {
 			h = 1e-10
+		}
+		if p.GradMinStep != nil && h < p.GradMinStep[i] {
+			h = p.GradMinStep[i]
 		}
 		hiOK := x[i]+h <= p.Upper[i]
 		loOK := x[i]-h >= p.Lower[i]

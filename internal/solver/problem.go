@@ -6,10 +6,13 @@
 // solution quality.
 //
 // Objectives are treated as black boxes evaluated numerically (the paper's
-// objective requires a thermal simulation per point), so all gradients are
-// finite-difference approximations. Problems are small (OFTEC has two
-// variables, ω and I_TEC), which the implementations exploit: the SQP
-// quadratic subproblems are solved exactly by enumerating active sets.
+// objective requires a thermal simulation per point); gradients default to
+// finite-difference approximations, with an analytic path (Options.Grad /
+// Options.ConsGrad, fed by the thermal adjoint solves) that collapses the
+// 2n probes per derivative into a single callback. Problems are small
+// (OFTEC has two variables, ω and I_TEC), which the implementations
+// exploit: the SQP quadratic subproblems are solved exactly by enumerating
+// active sets.
 package solver
 
 import (
@@ -29,6 +32,13 @@ const Infeasible = 1e12
 // Func evaluates a scalar function of the decision vector.
 type Func func(x []float64) float64
 
+// GradFunc evaluates the exact gradient of a scalar function at x, in the
+// problem's own (unscaled) units. Returning nil declines the evaluation —
+// the point is outside the differentiable region (thermal runaway) or the
+// underlying adjoint solve failed — and the solver falls back to finite
+// differences at that point only.
+type GradFunc func(x []float64) []float64
+
 // Problem is the CNLP
 //
 //	minimize    F(x)
@@ -41,10 +51,24 @@ type Problem struct {
 	Cons []Func
 	// Lower and Upper are box bounds, required and finite.
 	Lower, Upper []float64
+	// GradMinStep, when non-nil (length Dim), floors the per-variable
+	// finite-difference step at an absolute minimum in the variable's own
+	// units. Evaluators that memoize on quantized coordinates (core's
+	// evaluation cache rounds to a 1e-9 grid) alias probes closer than the
+	// grid spacing, turning difference quotients into exact zeros; the
+	// floor keeps both probes on distinct cache keys. The iterative
+	// solvers set it automatically on their internally scaled problems.
+	GradMinStep []float64
 }
 
 // Dim returns the number of decision variables.
 func (p *Problem) Dim() int { return len(p.Lower) }
+
+// pinned reports whether variable i is frozen by degenerate bounds.
+// Degenerate bounds are constructed by assignment (lower[i] = upper[i] =
+// value, e.g. a fixed fan speed), so the identity is exact by design and
+// no tolerance is wanted: a near-zero span is a live variable.
+func (p *Problem) pinned(i int) bool { return p.Upper[i]-p.Lower[i] == 0 }
 
 // Validate checks the problem structure.
 func (p *Problem) Validate() error {
@@ -65,6 +89,16 @@ func (p *Problem) Validate() error {
 		}
 		if p.Lower[i] > p.Upper[i] {
 			return fmt.Errorf("solver: variable %d has empty domain [%g, %g]", i, p.Lower[i], p.Upper[i])
+		}
+	}
+	if p.GradMinStep != nil {
+		if len(p.GradMinStep) != n {
+			return fmt.Errorf("solver: GradMinStep length %d, want %d", len(p.GradMinStep), n)
+		}
+		for i, s := range p.GradMinStep {
+			if math.IsNaN(s) || s < 0 {
+				return fmt.Errorf("solver: GradMinStep[%d] = %g must be a non-negative number", i, s)
+			}
 		}
 	}
 	return nil
@@ -130,6 +164,18 @@ type Options struct {
 	// FDStep is the relative finite-difference step; zero selects 1e-5 of
 	// the variable range.
 	FDStep float64
+	// Grad, when non-nil, supplies the exact gradient of F (in the
+	// problem's own units); the gradient-based solvers (ActiveSetSQP,
+	// InteriorPoint, TrustRegion) then skip the 2n finite-difference
+	// probes per derivative. A nil return from the function falls back to
+	// finite differences at that point. Derivative-free methods ignore it.
+	Grad GradFunc
+	// ConsGrad optionally supplies exact gradients for the corresponding
+	// entries of Problem.Cons; missing or nil entries use finite
+	// differences. The barrier and penalty solvers need every constraint
+	// gradient to assemble an analytic composite gradient, so a single nil
+	// entry sends them back to finite differences for the whole composite.
+	ConsGrad []GradFunc
 	// StopWhen, if non-nil, is checked after every accepted iterate; a
 	// true return stops the solver early with Converged=false and
 	// EarlyStopped=true. Algorithm 1 uses this to stop Optimization 2 as
@@ -242,6 +288,10 @@ type Report struct {
 	Iterations int
 	// FuncEvals counts objective and constraint evaluations.
 	FuncEvals int
+	// GradEvals counts analytic gradient evaluations (Options.Grad and
+	// Options.ConsGrad calls that returned a gradient). Zero on the pure
+	// finite-difference path.
+	GradEvals int
 	// Converged reports whether the method met its convergence test. It
 	// is true exactly when Stopped == StopConverged.
 	Converged bool

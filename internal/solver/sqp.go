@@ -39,12 +39,19 @@ func ActiveSetSQP(p *Problem, x0 []float64, opts Options) (Report, error) {
 		return x
 	}
 	scaled := &Problem{
-		F:     func(z []float64) float64 { return p.F(toX(z)) },
-		Lower: make([]float64, n),
-		Upper: make([]float64, n),
+		F:           func(z []float64) float64 { return p.F(toX(z)) },
+		Lower:       make([]float64, n),
+		Upper:       make([]float64, n),
+		GradMinStep: scaledGradMinStep(p, span),
 	}
 	for i := 0; i < n; i++ {
 		scaled.Upper[i] = 1
+		if p.pinned(i) {
+			// Propagate pinned bounds so the scaled problem is exactly the
+			// lower-dimensional one: the QP box rows pin d_i = 0 and the
+			// finite-difference gradient skips the frozen axis.
+			scaled.Upper[i] = 0
+		}
 	}
 	for _, c := range p.Cons {
 		c := c
@@ -54,7 +61,30 @@ func ActiveSetSQP(p *Problem, x0 []float64, opts Options) (Report, error) {
 	z := make([]float64, n)
 	for i := range z {
 		zi := (x0[i] - p.Lower[i]) / span[i]
-		z[i] = math.Min(1, math.Max(0, zi))
+		z[i] = math.Min(scaled.Upper[i], math.Max(0, zi))
+	}
+
+	gradEvals := 0
+	// gradObj and gradCons produce scaled-space derivatives: analytic via
+	// Options.Grad/ConsGrad chain-ruled through the scaling when available
+	// (and not declined), central differences otherwise.
+	gradObj := func(zz []float64, fzz float64) []float64 {
+		if opts.Grad != nil {
+			if gx := opts.Grad(toX(zz)); gx != nil {
+				gradEvals++
+				return scaleToZ(gx, span, p)
+			}
+		}
+		return scaled.gradient(scaled.F, zz, fzz, opts.fdStep(), &evals)
+	}
+	gradCons := func(i int, zz []float64, cvv float64) []float64 {
+		if i < len(opts.ConsGrad) && opts.ConsGrad[i] != nil {
+			if gx := opts.ConsGrad[i](toX(zz)); gx != nil {
+				gradEvals++
+				return scaleToZ(gx, span, p)
+			}
+		}
+		return scaled.gradient(scaled.Cons[i], zz, cvv, opts.fdStep(), &evals)
 	}
 
 	fz := scaled.eval(z, &evals)
@@ -62,6 +92,7 @@ func ActiveSetSQP(p *Problem, x0 []float64, opts Options) (Report, error) {
 	finish := func() (Report, error) {
 		report.MaxViolation = p.maxViolation(report.X, &evals)
 		report.FuncEvals = evals
+		report.GradEvals = gradEvals
 		return report, nil
 	}
 	if opts.cancelled() {
@@ -69,13 +100,13 @@ func ActiveSetSQP(p *Problem, x0 []float64, opts Options) (Report, error) {
 		return finish()
 	}
 
-	g := scaled.gradient(scaled.F, z, fz, opts.fdStep(), &evals)
+	g := gradObj(z, fz)
 	m := len(scaled.Cons)
 	cv := make([]float64, m)
 	ca := make([][]float64, m)
 	for i := 0; i < m; i++ {
 		cv[i] = scaled.evalCons(i, z, &evals)
-		ca[i] = scaled.gradient(scaled.Cons[i], z, cv[i], opts.fdStep(), &evals)
+		ca[i] = gradCons(i, z, cv[i])
 	}
 
 	bmat := identity(n)
@@ -119,7 +150,7 @@ func ActiveSetSQP(p *Problem, x0 []float64, opts Options) (Report, error) {
 			up := make([]float64, n)
 			up[i] = 1
 			rows = append(rows, up)
-			rhs = append(rhs, 1-z[i])
+			rhs = append(rhs, scaled.Upper[i]-z[i])
 			lo := make([]float64, n)
 			lo[i] = -1
 			rows = append(rows, lo)
@@ -225,10 +256,10 @@ func ActiveSetSQP(p *Problem, x0 []float64, opts Options) (Report, error) {
 
 		// New derivatives (constraint values carried over from the line
 		// search above).
-		gNew := scaled.gradient(scaled.F, zNew, fz, opts.fdStep(), &evals)
+		gNew := gradObj(zNew, fz)
 		caNew := make([][]float64, m)
 		for i := 0; i < m; i++ {
-			caNew[i] = scaled.gradient(scaled.Cons[i], zNew, cvNew[i], opts.fdStep(), &evals)
+			caNew[i] = gradCons(i, zNew, cvNew[i])
 		}
 
 		// Damped BFGS on the Lagrangian gradient.

@@ -56,13 +56,71 @@ func TrustRegion(p *Problem, x0 []float64, opts Options) (Report, error) {
 		}
 		return f
 	}
-	scaledPen := &Problem{F: penalized, Lower: make([]float64, n), Upper: make([]float64, n)}
+	scaledPen := &Problem{
+		F:           penalized,
+		Lower:       make([]float64, n),
+		Upper:       make([]float64, n),
+		GradMinStep: scaledGradMinStep(p, span),
+	}
 	for i := 0; i < n; i++ {
 		scaledPen.Upper[i] = 1
+		if p.pinned(i) {
+			scaledPen.Upper[i] = 0 // pinned axis: the QP must not move it
+		}
+	}
+	z2 := func(zi float64, i int) float64 {
+		return math.Min(scaledPen.Upper[i], math.Max(0, zi))
+	}
+	for i := range z {
+		z[i] = z2(z[i], i)
+	}
+
+	gradEvals := 0
+	// gradPen produces the scaled-space gradient of the penalized
+	// objective: ∇φ_z = span∘(∇F + Σ_{c_i>0} 2·penWeight·c_i·∇c_i) on the
+	// analytic path (penWeight is read at call time, so re-derivations
+	// after a penalty escalation see the new weight), finite differences of
+	// the composite otherwise. Any declined piece falls back whole.
+	gradPen := func(zz []float64, fzz float64) []float64 {
+		if opts.Grad != nil {
+			if g := func() []float64 {
+				x := toX(zz)
+				gx := opts.Grad(x)
+				if gx == nil {
+					return nil
+				}
+				gradEvals++
+				g := scaleToZ(gx, span, p)
+				for i := range p.Cons {
+					v := p.evalCons(i, x, &evals)
+					if v <= 0 {
+						continue
+					}
+					var gc []float64
+					if i < len(opts.ConsGrad) && opts.ConsGrad[i] != nil {
+						gc = opts.ConsGrad[i](x)
+					}
+					if gc == nil {
+						return nil
+					}
+					gradEvals++
+					for j := 0; j < n; j++ {
+						if p.pinned(j) {
+							continue
+						}
+						g[j] += 2 * penWeight * v * gc[j] * span[j]
+					}
+				}
+				return g
+			}(); g != nil {
+				return g
+			}
+		}
+		return scaledPen.gradient(penalized, zz, fzz, opts.fdStep(), &evals)
 	}
 
 	f := penalized(z)
-	g := scaledPen.gradient(penalized, z, f, opts.fdStep(), &evals)
+	g := gradPen(z, f)
 	bmat := identity(n)
 	delta := 0.25
 	tol := opts.tol()
@@ -82,7 +140,7 @@ func TrustRegion(p *Problem, x0 []float64, opts Options) (Report, error) {
 			up := make([]float64, n)
 			up[i] = 1
 			rows = append(rows, up)
-			rhs = append(rhs, math.Min(delta, 1-z[i]))
+			rhs = append(rhs, math.Min(delta, scaledPen.Upper[i]-z[i]))
 			lo := make([]float64, n)
 			lo[i] = -1
 			rows = append(rows, lo)
@@ -104,7 +162,7 @@ func TrustRegion(p *Problem, x0 []float64, opts Options) (Report, error) {
 		predicted := -(q.objective(d)) // model reduction
 		zNew := make([]float64, n)
 		for i := range zNew {
-			zNew[i] = math.Min(1, math.Max(0, z[i]+d[i]))
+			zNew[i] = z2(z[i]+d[i], i)
 		}
 		fNew := penalized(zNew)
 		actual := f - fNew
@@ -120,7 +178,7 @@ func TrustRegion(p *Problem, x0 []float64, opts Options) (Report, error) {
 			delta = math.Min(2*delta, 1)
 		}
 		if rho > 1e-4 && fNew < f {
-			gNew := scaledPen.gradient(penalized, zNew, fNew, opts.fdStep(), &evals)
+			gNew := gradPen(zNew, fNew)
 			s := make([]float64, n)
 			y := make([]float64, n)
 			var stepInf float64
@@ -147,7 +205,7 @@ func TrustRegion(p *Problem, x0 []float64, opts Options) (Report, error) {
 			if p.maxViolation(report.X, &evals) > opts.tol() {
 				penWeight = math.Min(penWeight*2, 1e9)
 				f = penalized(z)
-				g = scaledPen.gradient(penalized, z, f, opts.fdStep(), &evals)
+				g = gradPen(z, f)
 			}
 		}
 		if delta < tol/10 {
@@ -162,5 +220,6 @@ func TrustRegion(p *Problem, x0 []float64, opts Options) (Report, error) {
 
 	report.MaxViolation = p.maxViolation(report.X, &evals)
 	report.FuncEvals = evals
+	report.GradEvals = gradEvals
 	return report, nil
 }

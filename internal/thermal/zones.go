@@ -70,6 +70,43 @@ func (m *Model) NewZoning(assign map[string]int, numZones int) (*Zoning, error) 
 	return z, nil
 }
 
+// SpreadZoning builds a k-zone partition with no hand-crafted
+// assignment: the floorplan units that own TEC-covered cell centers at
+// this resolution are round-robined across the k zones, and units
+// without any covered cells (caches, slivers too thin to catch a cell
+// center) go to zone 0, so every zone holds at least one module. It is
+// the generic way for experiments and benchmarks to get a valid k-zone
+// control space; it fails when fewer than k units own covered cells.
+func (m *Model) SpreadZoning(k int) (*Zoning, error) {
+	chip := m.grids[planeChip]
+	fp := m.cfg.Floorplan
+	covered := map[string]bool{}
+	for i := 0; i < chip.NumCells(); i++ {
+		if m.tecAlpha[i] == 0 {
+			continue
+		}
+		r, c := chip.RowCol(i)
+		x, y := chip.CellCenter(r, c)
+		if u, ok := fp.UnitAt(x, y); ok {
+			covered[u.Name] = true
+		}
+	}
+	assign := map[string]int{}
+	next := 0
+	for _, u := range fp.Units() {
+		if !covered[u.Name] {
+			assign[u.Name] = 0
+			continue
+		}
+		assign[u.Name] = next % k
+		next++
+	}
+	if next < k {
+		return nil, fmt.Errorf("thermal: only %d units own TEC-covered cells, cannot build %d zones", next, k)
+	}
+	return m.NewZoning(assign, k)
+}
+
 // EvaluateZoned computes the steady state with one driving current per
 // zone (linearized leakage, like Evaluate). The result's ITEC field holds
 // the maximum zone current; per-zone accounting is in the returned value's

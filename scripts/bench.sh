@@ -33,7 +33,7 @@ trap 'rm -f "$raw" "$parsed" "$current"' EXIT
 
 echo "== go test -bench (hot path, benchtime $BENCHTIME)"
 go test -run '^$' \
-	-bench '^(BenchmarkEvaluate|BenchmarkEvaluateExact|BenchmarkEvaluateCold|BenchmarkEvaluateExactCold|BenchmarkROMEvaluate|BenchmarkSurfaceGridBatched|BenchmarkROMColdStart)$' \
+	-bench '^(BenchmarkEvaluate|BenchmarkEvaluateExact|BenchmarkEvaluateCold|BenchmarkEvaluateExactCold|BenchmarkROMEvaluate|BenchmarkSurfaceGridBatched|BenchmarkROMColdStart|BenchmarkGradVsFD)$' \
 	-benchtime "$BENCHTIME" -benchmem . | tee "$raw"
 go test -run '^$' \
 	-bench '^(BenchmarkAssemble|BenchmarkAssembleReference)$' \
@@ -109,11 +109,22 @@ jq -n \
 			batched:  $cur["BenchmarkSurfaceGridBatched/batched"],
 			batched_vs_perpoint: ($cur["BenchmarkSurfaceGridBatched/perpoint"].ns_per_op
 				/ $cur["BenchmarkSurfaceGridBatched/batched"].ns_per_op)
+		},
+		# Adjoint gradients vs finite differences on the zoned k=8 SQP run
+		# (9 decision variables): same feasible answer, one adjoint pair
+		# per iterate instead of 2(1+k) probes per derivative. The
+		# acceptance bar is func_evals_ratio >= 5.
+		grad_vs_fd: {
+			fd:   $cur["BenchmarkGradVsFD/fd"],
+			grad: $cur["BenchmarkGradVsFD/grad"],
+			func_evals_ratio: ($cur["BenchmarkGradVsFD/fd"].func_evals
+				/ $cur["BenchmarkGradVsFD/grad"].func_evals)
 		}
 	}' >"$OUT"
 
 echo "== wrote $OUT"
 jq '.speedup' "$OUT"
+jq '{grad_vs_fd_func_evals_ratio: .grad_vs_fd.func_evals_ratio}' "$OUT"
 
 # The backend comparison: the ROM fast path against the full backend's
 # cold solve (both use the distinct-point pattern, so neither the model
