@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"oftec/internal/backend"
+	"oftec/internal/coolant"
 	"oftec/internal/core"
 	"oftec/internal/dvfs"
 	"oftec/internal/experiments"
@@ -895,5 +896,47 @@ func BenchmarkCoverageStudy(b *testing.B) {
 		}
 		b.ReportMetric(rows[1].TECPowerW, "paper-deploy-TEC-W")
 		b.ReportMetric(rows[2].TECPowerW, "spot-deploy-TEC-W")
+	}
+}
+
+// BenchmarkCoolantPower is the coolant-seam headline: the full OFTEC run
+// (Algorithm 1, SQP with adjoint gradients) on the same floorplan under
+// the paper's air actuator versus the liquid cold-plate loop, each leg
+// reporting the optimized cooling power 𝒫 and the chosen actuator
+// command. scripts/bench.sh records both legs and their ratio as
+// coolant_liquid_vs_air in BENCH_backend.json — the measured answer to
+// "what does switching the deployment to liquid buy at the optimum".
+func BenchmarkCoolantPower(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		spec *coolant.Spec
+	}{
+		{"air", nil},
+		{"liquid", &coolant.Spec{Kind: coolant.KindLiquid}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			setup := benchSetup()
+			setup.Config.Coolant = bc.spec
+			var pw, u float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys, err := setup.System("Basicmath")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				out, err := sys.Run(core.Options{Mode: core.ModeHybrid, Gradient: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !out.Feasible {
+					b.Fatal("infeasible")
+				}
+				pw = out.CoolingPower()
+				u = out.Omega
+			}
+			b.ReportMetric(pw, "watts")
+			b.ReportMetric(u, "u-rad_per_s")
+		})
 	}
 }

@@ -20,10 +20,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"oftec/internal/backend"
 	"oftec/internal/controller"
+	"oftec/internal/coolant"
 	"oftec/internal/core"
 	"oftec/internal/power"
 	"oftec/internal/thermal"
@@ -43,11 +45,21 @@ func main() {
 		ctrlPeriod  = flag.Float64("ctrlperiod", 0.05, "controller sampling period (s)")
 		res         = flag.Int("res", 12, "chip-layer grid resolution")
 		backendName = flag.String("backend", "", "evaluation backend: full (default) or rom")
+		coolantName = flag.String("coolant", "", "cooling actuator: air (default, the paper's fan), liquid, liquid-dc, liquid-package")
 		csvPath     = flag.String("csv", "", "write the detailed trace as CSV")
 	)
 	flag.Parse()
 
+	if !backend.Known(*backendName) {
+		log.Fatalf("unknown backend %q; registered backends: %s", *backendName, strings.Join(backend.Names(), ", "))
+	}
+	coolantSpec, err := coolant.SpecByName(*coolantName)
+	if err != nil {
+		log.Fatalf("unknown coolant %q; registered coolants: %s", *coolantName, strings.Join(coolant.Names(), ", "))
+	}
+
 	cfg := thermal.DefaultConfig()
+	cfg.Coolant = coolantSpec
 	cfg.ChipRes = *res
 	b, err := workload.ByName(*bench)
 	if err != nil {
@@ -123,7 +135,7 @@ func buildController(name string, plant backend.Plant, peak power.Map, cfg therm
 		return &controller.PIFan{
 			Setpoint: cfg.TMax - 5,
 			Kp:       25, Ki: 6,
-			OmegaMin: 15, OmegaMax: cfg.Fan.OmegaMax,
+			OmegaMin: 15, OmegaMax: cfg.UMax(),
 		}, 0, nil
 	case "oftec-static":
 		sys := core.NewSystem(plant)

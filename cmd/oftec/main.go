@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"oftec/internal/backend"
+	"oftec/internal/coolant"
 	"oftec/internal/core"
 	"oftec/internal/experiments"
 	"oftec/internal/profiling"
@@ -39,6 +40,7 @@ func main() {
 		mode        = flag.String("mode", "oftec", "cooling mode: oftec, var, fixed, teconly")
 		method      = flag.String("method", "sqp", "NLP method: sqp, interior, trust, neldermead, hooke")
 		backendName = flag.String("backend", "", "evaluation backend: "+strings.Join(backend.Names(), ", ")+" (default full)")
+		coolantName = flag.String("coolant", "", "cooling actuator: "+strings.Join(coolant.Names(), ", ")+" (default air, the paper's fan)")
 		opt2        = flag.Bool("opt2", false, "solve Optimization 2 only (minimize the maximum temperature)")
 		exact       = flag.Bool("exact", false, "verify the result with the exact exponential leakage model")
 		grad        = flag.Bool("grad", false, "steer gradient-based methods with adjoint gradients (smoothed-max objective) instead of finite differences")
@@ -57,6 +59,16 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile on exit to this file")
 	)
 	flag.Parse()
+
+	// Reject unknown backend/coolant names before any model setup so a
+	// typo fails with the registered list, not a failure deep in assembly.
+	if !backend.Known(*backendName) {
+		log.Fatalf("unknown backend %q; registered backends: %s", *backendName, strings.Join(backend.Names(), ", "))
+	}
+	coolantSpec, err := coolant.SpecByName(*coolantName)
+	if err != nil {
+		log.Fatalf("unknown coolant %q; registered coolants: %s", *coolantName, strings.Join(coolant.Names(), ", "))
+	}
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -88,6 +100,9 @@ func main() {
 		cfg.ChipRes = *res
 		cfg.TMax = units.CToK(*tmaxC)
 		cfg.Ambient = units.CToK(*ambient)
+	}
+	if *coolantName != "" {
+		cfg.Coolant = coolantSpec
 	}
 	if *cfgDump != "" {
 		f, err := os.Create(*cfgDump)
@@ -161,8 +176,14 @@ func main() {
 	fmt.Printf("benchmark    %s — %s\n", b.Name, b.Description)
 	fmt.Printf("model        %d nodes, %d TEC modules, %.1f W dynamic power (backend %s)\n",
 		m.NumNodes(), m.NumTEC(), m.DynamicPowerTotal(), sys.Backend().Name())
-	fmt.Printf("constraints  T_max %.1f °C, ω ≤ %.0f RPM, I ≤ %.1f A, ambient %.1f °C\n\n",
-		units.KToC(cfg.TMax), units.RadPerSecToRPM(cfg.Fan.OmegaMax), cfg.TEC.MaxCurrent, units.KToC(cfg.Ambient))
+	mcfg := m.Config()
+	fmt.Printf("coolant      %s", m.Actuator().Name())
+	if n := mcfg.PackageChips(); n > 1 {
+		fmt.Printf(" — %d-chip package, per-chip share reported (package totals ×%d)", n, n)
+	}
+	fmt.Println()
+	fmt.Printf("constraints  T_max %.1f °C, u ≤ %.0f RPM, I ≤ %.1f A, ambient %.1f °C\n\n",
+		units.KToC(mcfg.TMax), units.RadPerSecToRPM(mcfg.UMax()), mcfg.TEC.MaxCurrent, units.KToC(mcfg.Ambient))
 
 	out, err := sys.Run(opts)
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"oftec/internal/backend"
+	"oftec/internal/coolant"
 	"oftec/internal/experiments"
 	"oftec/internal/profiling"
 	"oftec/internal/thermal"
@@ -39,6 +40,7 @@ func main() {
 	var (
 		bench       = flag.String("bench", "Basicmath", "benchmark name (the paper plots Basicmath)")
 		backendName = flag.String("backend", "", "evaluation backend: "+strings.Join(backend.Names(), ", ")+" (default full; rom serves coarse passes fast)")
+		coolantName = flag.String("coolant", "", "cooling actuator: "+strings.Join(coolant.Names(), ", ")+" (default air, the paper's fan)")
 		nOmega      = flag.Int("nomega", 40, "grid points along the ω axis")
 		nI          = flag.Int("ni", 26, "grid points along the I_TEC axis")
 		res         = flag.Int("res", 16, "chip-layer grid resolution")
@@ -49,6 +51,16 @@ func main() {
 		memprofile  = flag.String("memprofile", "", "write a heap profile on exit to this file")
 	)
 	flag.Parse()
+
+	// Reject unknown backend/coolant names before any model setup so a
+	// typo fails with the registered list, not a failure deep in assembly.
+	if !backend.Known(*backendName) {
+		log.Fatalf("unknown backend %q; registered backends: %s", *backendName, strings.Join(backend.Names(), ", "))
+	}
+	coolantSpec, err := coolant.SpecByName(*coolantName)
+	if err != nil {
+		log.Fatalf("unknown coolant %q; registered coolants: %s", *coolantName, strings.Join(coolant.Names(), ", "))
+	}
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -65,6 +77,7 @@ func main() {
 
 	cfg := thermal.DefaultConfig()
 	cfg.ChipRes = *res
+	cfg.Coolant = coolantSpec
 	setup := experiments.Setup{Config: cfg, Benchmarks: workload.All(), Backend: *backendName}
 
 	ctx := context.Background()

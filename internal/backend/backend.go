@@ -19,11 +19,15 @@ import (
 	"oftec/internal/thermal"
 )
 
-// OpPoint is one steady-state operating point: a fan speed and one TEC
-// driving current per control zone. k = len(Currents) = 1 is the paper's
-// deployment (every module in series on one current); k > 1 is the zoned
-// extension. The zero Currents slice is invalid — a scalar point is
+// OpPoint is one steady-state operating point: an actuator command and one
+// TEC driving current per control zone. k = len(Currents) = 1 is the
+// paper's deployment (every module in series on one current); k > 1 is the
+// zoned extension. The zero Currents slice is invalid — a scalar point is
 // Currents of length one.
+//
+// Omega is the actuator command u: the fan speed ω in rad/s under the
+// paper's air cooling, the pump speed under a liquid loop. The field keeps
+// its historical name for compatibility; U() is the seam-era accessor.
 type OpPoint struct {
 	Omega    float64
 	Currents []float64
@@ -33,6 +37,14 @@ type OpPoint struct {
 func Scalar(omega, itec float64) OpPoint {
 	return OpPoint{Omega: omega, Currents: []float64{itec}}
 }
+
+// ScalarU is Scalar under the actuator-command naming: u is the fan speed
+// for air cooling, the pump speed for a liquid loop.
+func ScalarU(u, itec float64) OpPoint { return Scalar(u, itec) }
+
+// U returns the actuator command (the Omega field under its
+// actuator-agnostic name).
+func (op OpPoint) U() float64 { return op.Omega }
 
 // K returns the number of control zones.
 func (op OpPoint) K() int { return len(op.Currents) }

@@ -1,0 +1,50 @@
+package backend
+
+import (
+	"oftec/internal/coolant"
+	"oftec/internal/thermal"
+)
+
+// Known reports whether name is a registered backend. CLIs use it to
+// reject a typo'd -backend flag up front, with Names() in the message,
+// instead of surfacing the failure deep in model setup.
+func Known(name string) bool {
+	if name == "" {
+		return true // empty selects "full"
+	}
+	registry.RLock()
+	defer registry.RUnlock()
+	_, ok := registry.factories[name]
+	return ok
+}
+
+// reactuated wraps a factory so it rebuilds the model under the named
+// coolant variant before delegating. A model already carrying the exact
+// spec is used as-is (the -coolant flag path pre-sets the config; the
+// -backend liquid path arrives with the default air config).
+func reactuated(variant string, f Factory) Factory {
+	return func(m *thermal.Model) (Plant, error) {
+		spec, err := coolant.SpecByName(variant)
+		if err != nil {
+			return nil, err
+		}
+		lm, err := m.WithCoolant(spec)
+		if err != nil {
+			return nil, err
+		}
+		return f(lm)
+	}
+}
+
+func init() {
+	// The liquid-loop and multi-chip-package variants of the full
+	// backend: same floorplan and calibration, re-actuated through the
+	// coolant seam. Registered here (not in the coolant package) so the
+	// registry stays the single place backend names come from.
+	Register("liquid", reactuated("liquid", func(m *thermal.Model) (Plant, error) {
+		return NewFull(m).Renamed("liquid"), nil
+	}))
+	Register("package", reactuated("liquid-package", func(m *thermal.Model) (Plant, error) {
+		return NewFull(m).Renamed("package"), nil
+	}))
+}

@@ -16,6 +16,12 @@ import (
 type Full struct {
 	m *thermal.Model
 
+	// name is the registry name the backend reports; empty means "full".
+	// Registry variants that are a Full over a re-actuated model
+	// ("liquid", "package") keep their registered name visible in
+	// reports and the serve pool without a capability-hiding wrapper.
+	name string
+
 	// The ROM sibling is built lazily, once; construction costs a few
 	// dozen snapshot solves, so a caller that never selects "rom" never
 	// pays for it.
@@ -27,8 +33,20 @@ type Full struct {
 // NewFull wraps an assembled thermal model as the exact backend.
 func NewFull(m *thermal.Model) *Full { return &Full{m: m} }
 
+// Renamed sets the registry name the backend reports and returns it;
+// used by registry variants built over a re-actuated model.
+func (f *Full) Renamed(name string) *Full {
+	f.name = name
+	return f
+}
+
 // Name identifies the backend.
-func (f *Full) Name() string { return "full" }
+func (f *Full) Name() string {
+	if f.name != "" {
+		return f.name
+	}
+	return "full"
+}
 
 // Config returns the underlying model's configuration.
 func (f *Full) Config() thermal.Config { return f.m.Config() }

@@ -68,7 +68,11 @@ func TraceSimulate(p backend.Plant, ctrl Controller, tr *power.Trace, duration, 
 	var out []DetailPoint
 	maxTemp, _ := sim.ChipState()
 	nextCtrl := 0.0
-	fan := p.Config().Fan
+	pcfg := p.Config()
+	act, err := pcfg.Actuator()
+	if err != nil {
+		return nil, err
+	}
 	for sim.Time() < duration {
 		now := sim.Time()
 		pm, err := tr.At(now)
@@ -103,7 +107,7 @@ func TraceSimulate(p backend.Plant, ctrl Controller, tr *power.Trace, duration, 
 			DynamicW: pm.Total(),
 			LeakageW: leak,
 			TECW:     tec,
-			FanW:     fan.Power(omega),
+			FanW:     act.Power(omega),
 		})
 	}
 	return out, nil

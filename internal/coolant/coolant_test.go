@@ -1,0 +1,292 @@
+package coolant
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"oftec/internal/fan"
+)
+
+// TestAirBitIdenticalToFanPackage pins the air actuator against the fan
+// package it wraps: every contract method must reproduce the pre-seam
+// fan path bit-for-bit across the command range (the refactor moved the
+// call sites, not the arithmetic).
+func TestAirBitIdenticalToFanPackage(t *testing.T) {
+	f, hs := fan.PaperFan(), fan.PaperModel()
+	a := PaperAir()
+	if a.Fan != f || a.Sink != hs {
+		t.Fatalf("PaperAir %+v does not carry the paper fan/heat-sink constants", a)
+	}
+	if a.UMax() != f.OmegaMax {
+		t.Fatalf("UMax %g != OmegaMax %g", a.UMax(), f.OmegaMax)
+	}
+	for u := -10.0; u <= f.OmegaMax+10; u += 0.25 {
+		if got, want := a.Power(u), f.Power(u); got != want {
+			t.Fatalf("Power(%g) = %g, fan gives %g", u, got, want)
+		}
+		if got, want := a.DPowerDU(u), f.DPowerDOmega(u); got != want {
+			t.Fatalf("DPowerDU(%g) = %g, fan gives %g", u, got, want)
+		}
+		if got, want := a.Conductance(u), hs.Conductance(u); got != want {
+			t.Fatalf("Conductance(%g) = %g, heat sink gives %g", u, got, want)
+		}
+		if got, want := a.DConductanceDU(u), hs.DConductanceDOmega(u); got != want {
+			t.Fatalf("DConductanceDU(%g) = %g, heat sink gives %g", u, got, want)
+		}
+	}
+}
+
+// kneeActuators are the two families with a saturation knee, probed by
+// the continuity/monotonicity property tests below.
+func kneeActuators() []struct {
+	name  string
+	act   Actuator
+	knee  float64
+	floor float64
+} {
+	air := PaperAir()
+	loop := PaperLoop()
+	return []struct {
+		name  string
+		act   Actuator
+		knee  float64
+		floor float64
+	}{
+		{"air", air, air.CrossoverU(), air.Sink.GHS},
+		{"liquid", loop, loop.CrossoverU(), loop.GMin},
+	}
+}
+
+// TestConductanceContinuousAndMonotoneAcrossKnee is the saturation-knee
+// property test: g(u) must be continuous (no jump where the law meets
+// the floor) and monotone nondecreasing on a dense grid straddling the
+// crossover, for both actuator families.
+func TestConductanceContinuousAndMonotoneAcrossKnee(t *testing.T) {
+	for _, tc := range kneeActuators() {
+		t.Run(tc.name, func(t *testing.T) {
+			knee := tc.knee
+			if knee <= 0 || knee >= tc.act.UMax() {
+				t.Fatalf("crossover %g outside (0, %g)", knee, tc.act.UMax())
+			}
+			// Continuity at the knee: approaching from both sides the
+			// conductance must meet the floor to first order in the step.
+			for _, h := range []float64{1e-3, 1e-6, 1e-9} {
+				lo, hi := tc.act.Conductance(knee-h), tc.act.Conductance(knee+h)
+				if math.Abs(hi-lo) > 1e-3*h/1e-3+1e-9 {
+					t.Errorf("jump at knee±%g: g=%g vs %g", h, lo, hi)
+				}
+				if math.Abs(lo-tc.floor) > 1e-6 {
+					t.Errorf("g just below knee = %g, floor %g", lo, tc.floor)
+				}
+			}
+			// Monotone nondecreasing across the whole range, dense near
+			// the knee where a sign error would hide.
+			prev := tc.act.Conductance(0)
+			if prev != tc.floor {
+				t.Errorf("g(0) = %g, want the floor %g", prev, tc.floor)
+			}
+			for i := 0; i <= 4000; i++ {
+				u := tc.act.UMax() * float64(i) / 4000
+				g := tc.act.Conductance(u)
+				if g < prev {
+					t.Fatalf("g decreases at u=%g: %g < %g", u, g, prev)
+				}
+				prev = g
+			}
+		})
+	}
+}
+
+// TestDConductanceExactZeroOnSaturatedBranch: the derivative must be
+// exactly zero (not merely small) everywhere the floor clamp is active,
+// mirroring the pinned-variable convention the optimizers rely on, and
+// strictly positive just above the knee.
+func TestDConductanceExactZeroOnSaturatedBranch(t *testing.T) {
+	for _, tc := range kneeActuators() {
+		t.Run(tc.name, func(t *testing.T) {
+			knee := tc.knee
+			for _, u := range []float64{-1, 0, knee * 0.25, knee * 0.5, knee * 0.99, knee} {
+				if d := tc.act.DConductanceDU(u); d != 0 {
+					t.Errorf("DConductanceDU(%g) = %g on the saturated branch, want exactly 0", u, d)
+				}
+			}
+			for _, u := range []float64{knee * 1.01, knee * 2, tc.act.UMax()} {
+				if d := tc.act.DConductanceDU(u); d <= 0 {
+					t.Errorf("DConductanceDU(%g) = %g above the knee, want > 0", u, d)
+				}
+			}
+		})
+	}
+}
+
+// TestLiquidPhysics pins the liquid law's limits: conductance approaches
+// the capacity rate at low flow, saturates below UA at high flow, and the
+// derivative matches a central difference on the flowing branch.
+func TestLiquidPhysics(t *testing.T) {
+	l := PaperLoop()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// ε-NTU cap: g < UA everywhere, approaching it as flow grows.
+	big := Liquid{PumpC: l.PumpC, MaxSpeed: 1e6, FlowPerU: l.FlowPerU, Rho: l.Rho, Cp: l.Cp, UA: l.UA, GMin: l.GMin}
+	if g := big.Conductance(1e6); g >= l.UA || g < 0.99*l.UA {
+		t.Errorf("high-flow conductance %g should saturate just below UA=%g", g, l.UA)
+	}
+	// Low-flow limit: the coolant stream is the bottleneck, g ≈ C(u).
+	uLow := 2 * l.CrossoverU()
+	c := l.Rho * l.FlowPerU * l.Cp * uLow
+	if g := l.Conductance(uLow); math.Abs(g-c)/c > 0.01 {
+		t.Errorf("low-flow conductance %g should approach capacity rate %g", g, c)
+	}
+	// Affinity law and its derivative.
+	if p := l.Power(l.MaxSpeed); math.Abs(p-l.PumpC*math.Pow(l.MaxSpeed, 3)) > 1e-12 {
+		t.Errorf("Power(%g) = %g violates the affinity law", l.MaxSpeed, p)
+	}
+	for _, u := range []float64{l.CrossoverU() * 1.5, 100, 250, l.MaxSpeed} {
+		h := 1e-3 * u
+		fd := (l.Conductance(u+h) - l.Conductance(u-h)) / (2 * h)
+		if d := l.DConductanceDU(u); math.Abs(d-fd) > 1e-6*math.Max(1, math.Abs(fd)) {
+			t.Errorf("DConductanceDU(%g) = %g, central diff %g", u, d, fd)
+		}
+		fd = (l.Power(u+h) - l.Power(u-h)) / (2 * h)
+		if d := l.DPowerDU(u); math.Abs(d-fd) > 1e-6*math.Max(1, math.Abs(fd)) {
+			t.Errorf("DPowerDU(%g) = %g, central diff %g", u, d, fd)
+		}
+	}
+}
+
+// TestFacilityWrapper: PUE scales power and its derivative, never the
+// thermal path.
+func TestFacilityWrapper(t *testing.T) {
+	base := PaperLoop()
+	f := Facility{Base: base, PUE: DatacenterPUE}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []float64{0, 50, 200, base.MaxSpeed} {
+		if got, want := f.Power(u), DatacenterPUE*base.Power(u); got != want {
+			t.Errorf("Power(%g) = %g, want %g", u, got, want)
+		}
+		if got, want := f.DPowerDU(u), DatacenterPUE*base.DPowerDU(u); got != want {
+			t.Errorf("DPowerDU(%g) = %g, want %g", u, got, want)
+		}
+		if f.Conductance(u) != base.Conductance(u) || f.DConductanceDU(u) != base.DConductanceDU(u) {
+			t.Errorf("facility wrapper altered the thermal path at u=%g", u)
+		}
+	}
+	if (Facility{Base: base, PUE: 0.9}).Validate() == nil {
+		t.Error("PUE < 1 validated")
+	}
+}
+
+// TestColdPlateShare: the N-chip share splits conductance and drive power
+// evenly and leaves the command bound alone.
+func TestColdPlateShare(t *testing.T) {
+	base := PaperLoop()
+	p := ColdPlate{Base: base, Chips: 4}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.UMax() != base.UMax() {
+		t.Errorf("UMax changed: %g vs %g", p.UMax(), base.UMax())
+	}
+	for _, u := range []float64{0, 100, base.MaxSpeed} {
+		if got, want := p.Conductance(u), base.Conductance(u)/4; got != want {
+			t.Errorf("Conductance(%g) = %g, want %g", u, got, want)
+		}
+		if got, want := p.Power(u), base.Power(u)/4; got != want {
+			t.Errorf("Power(%g) = %g, want %g", u, got, want)
+		}
+		if got, want := p.DConductanceDU(u), base.DConductanceDU(u)/4; got != want {
+			t.Errorf("DConductanceDU(%g) = %g, want %g", u, got, want)
+		}
+		if got, want := p.DPowerDU(u), base.DPowerDU(u)/4; got != want {
+			t.Errorf("DPowerDU(%g) = %g, want %g", u, got, want)
+		}
+	}
+	if (ColdPlate{Base: base, Chips: 0}).Validate() == nil {
+		t.Error("zero-chip cold plate validated")
+	}
+}
+
+// TestSpecResolveAndNames: the named variants resolve, the nil/air spec
+// is the exact air actuator, and unknown names list the registry.
+func TestSpecResolveAndNames(t *testing.T) {
+	airFan, airSink := PaperFan(), PaperHeatSink()
+
+	spec, err := SpecByName("")
+	if err != nil || spec != nil {
+		t.Fatalf("empty name: spec %v err %v, want nil nil", spec, err)
+	}
+	if spec, err = SpecByName("air"); err != nil || spec != nil {
+		t.Fatalf("air: spec %v err %v, want nil nil", spec, err)
+	}
+	act, err := (*Spec)(nil).Resolve(airFan, airSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act != (Air{Fan: airFan, Sink: airSink}) {
+		t.Fatalf("nil spec resolved to %#v, want the air pair", act)
+	}
+
+	for _, name := range Names() {
+		spec, err := SpecByName(name)
+		if err != nil {
+			t.Fatalf("registered name %q: %v", name, err)
+		}
+		act, err := spec.Resolve(airFan, airSink)
+		if err != nil {
+			t.Fatalf("resolving %q: %v", name, err)
+		}
+		if err := act.Validate(); err != nil {
+			t.Fatalf("%q resolves to an invalid actuator: %v", name, err)
+		}
+	}
+
+	if _, err := SpecByName("chilled-beam"); err == nil ||
+		!strings.Contains(err.Error(), strings.Join(Names(), ", ")) {
+		t.Fatalf("unknown name error %v must list the registered names", err)
+	}
+
+	// Variant wiring: liquid-dc carries the PUE, liquid-package the share.
+	dc, _ := SpecByName("liquid-dc")
+	if a, _ := dc.Resolve(airFan, airSink); a.Power(100) != DatacenterPUE*PaperLoop().Power(100) {
+		t.Error("liquid-dc does not meter at DatacenterPUE")
+	}
+	pkg, _ := SpecByName("liquid-package")
+	if pkg.PackageChips() != DefaultPackageChips {
+		t.Errorf("liquid-package chips = %d, want %d", pkg.PackageChips(), DefaultPackageChips)
+	}
+}
+
+// TestSpecJSONRoundTrip: the spec survives JSON (the configuration
+// persists it), and invalid shapes are rejected.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	loop := PaperLoop()
+	in := &Spec{Kind: KindLiquid, Liquid: &loop, PUE: 1.25, Chips: 2}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Spec
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || out.PUE != in.PUE || out.Chips != in.Chips || *out.Liquid != *in.Liquid {
+		t.Fatalf("round trip lost data: %+v vs %+v", out, in)
+	}
+
+	bad := []Spec{
+		{Kind: "peltier"},
+		{Kind: KindAir, Liquid: &loop},
+		{Kind: KindLiquid, PUE: 0.5},
+		{Kind: KindLiquid, Chips: -1},
+	}
+	for _, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("spec %+v validated", s)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package coolant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Liquid is a pump-driven cold-plate loop. The pump command u (rad/s) sets
+// the volumetric flow Q = FlowPerU·u, giving the coolant capacity rate
+// C(u) = ρ·Q·c_p in W/K — the ΔT·ρ·c_p bookkeeping of flow-based cooling
+// models. The effective sink-to-ambient conductance follows an ε-NTU law
+// with the cold plate's overall UA as the cap:
+//
+//	g_raw(u) = C·ε = C·(1 − exp(−UA/C))
+//
+// which is continuous, monotone nondecreasing (d/dC [C(1−e^(−UA/C))] =
+// 1 − e^(−x)(1+x) ≥ 0 for x = UA/C), tends to C at low flow (the coolant
+// itself is the bottleneck) and saturates at UA at high flow (the plate
+// is). Below the idle-loop floor GMin — thermosiphon plus conduction
+// through a stopped loop — the conductance clamps, mirroring the air
+// law's g_HS still-air branch. Pump power follows the affinity law
+// P = c·u³, the direct analogue of the fan's Equation (8).
+type Liquid struct {
+	// PumpC is the affinity-law constant c in W·s³: P = c·u³.
+	PumpC float64
+	// MaxSpeed is the maximum pump command in rad/s (UMax).
+	MaxSpeed float64
+	// FlowPerU converts pump speed to volumetric flow, m³/s per rad/s.
+	FlowPerU float64
+	// Rho is the coolant density in kg/m³ (water: 1000).
+	Rho float64
+	// Cp is the coolant specific heat in J/(kg·K) (water: 4186).
+	Cp float64
+	// UA is the cold plate's overall heat-transfer conductance in W/K,
+	// the ε-NTU saturation cap.
+	UA float64
+	// GMin is the stopped-loop conductance floor in W/K.
+	GMin float64
+}
+
+// PaperLoop returns a liquid loop calibrated to the paper's package scale:
+// a small water loop whose stopped-loop floor matches the air law's g_HS
+// (0.525 W/K) so the two actuators agree at u = 0, and whose cold plate
+// (UA = 10 W/K) outperforms the fan's ω_max conductance (≈5.8 W/K) at a
+// fraction of the drive power — at full speed the loop moves 0.24 L/min
+// (C ≈ 16.7 W/K, g ≈ 7.5 W/K) for under 2 W of pump power.
+func PaperLoop() Liquid {
+	return Liquid{
+		PumpC:    3.0e-8, // P(400) ≈ 1.9 W
+		MaxSpeed: 400,
+		FlowPerU: 1.0e-8, // 4e-6 m³/s (0.24 L/min) at full speed
+		Rho:      1000,   // water
+		Cp:       4186,   // water
+		UA:       10,
+		GMin:     0.525, // match the air law's still-air g_HS
+	}
+}
+
+// Name implements Actuator.
+func (l Liquid) Name() string { return "liquid" }
+
+// Validate implements Actuator.
+func (l Liquid) Validate() error {
+	switch {
+	case l.PumpC <= 0:
+		return fmt.Errorf("coolant: pump power constant %g must be positive", l.PumpC)
+	case l.MaxSpeed <= 0:
+		return fmt.Errorf("coolant: maximum pump speed %g must be positive", l.MaxSpeed)
+	case l.FlowPerU <= 0:
+		return fmt.Errorf("coolant: flow per unit command %g must be positive", l.FlowPerU)
+	case l.Rho <= 0:
+		return fmt.Errorf("coolant: coolant density %g must be positive", l.Rho)
+	case l.Cp <= 0:
+		return fmt.Errorf("coolant: coolant specific heat %g must be positive", l.Cp)
+	case l.UA <= 0:
+		return fmt.Errorf("coolant: cold-plate UA %g must be positive", l.UA)
+	case l.GMin <= 0:
+		return fmt.Errorf("coolant: stopped-loop conductance %g must be positive", l.GMin)
+	}
+	return nil
+}
+
+// UMax implements Actuator.
+func (l Liquid) UMax() float64 { return l.MaxSpeed }
+
+// Power implements Actuator: the pump affinity law P = c·u³, zero on the
+// clamped branch u ≤ 0.
+func (l Liquid) Power(u float64) float64 {
+	if u <= 0 {
+		return 0
+	}
+	return l.PumpC * u * u * u
+}
+
+// DPowerDU implements Actuator: 3·c·u², zero for u ≤ 0.
+func (l Liquid) DPowerDU(u float64) float64 {
+	if u <= 0 {
+		return 0
+	}
+	return 3 * l.PumpC * u * u
+}
+
+// capacityRate returns C(u) = ρ·FlowPerU·u·c_p in W/K.
+func (l Liquid) capacityRate(u float64) float64 {
+	return l.Rho * l.FlowPerU * l.Cp * u
+}
+
+// rawConductance returns the unclamped ε-NTU conductance C·(1 − e^(−UA/C)).
+func (l Liquid) rawConductance(u float64) float64 {
+	if u <= 0 {
+		return 0
+	}
+	c := l.capacityRate(u)
+	return c * (1 - math.Exp(-l.UA/c))
+}
+
+// Conductance implements Actuator: the ε-NTU law clamped below at GMin,
+// continuous and monotone nondecreasing across the knee.
+func (l Liquid) Conductance(u float64) float64 {
+	g := l.rawConductance(u)
+	if g < l.GMin {
+		return l.GMin
+	}
+	return g
+}
+
+// DConductanceDU implements Actuator:
+//
+//	dg/du = ρ·FlowPerU·c_p · (1 − e^(−x)(1+x)),  x = UA/C(u)
+//
+// on the flowing branch, and exactly zero wherever the GMin clamp is
+// active, matching the clamp in Conductance bit-for-bit so optimizers see
+// a clean flat region.
+func (l Liquid) DConductanceDU(u float64) float64 {
+	if u <= 0 || l.rawConductance(u) <= l.GMin {
+		return 0
+	}
+	x := l.UA / l.capacityRate(u)
+	return l.Rho * l.FlowPerU * l.Cp * (1 - math.Exp(-x)*(1+x))
+}
+
+// CrossoverU returns the pump command at which the ε-NTU law meets the
+// stopped-loop floor GMin — the saturation knee. If the loop never exceeds
+// the floor within [0, MaxSpeed], MaxSpeed is returned. The raw law is
+// strictly increasing in u, so a 200-step bisection pins the knee to
+// machine precision.
+func (l Liquid) CrossoverU() float64 {
+	if l.rawConductance(l.MaxSpeed) <= l.GMin {
+		return l.MaxSpeed
+	}
+	lo, hi := 0.0, l.MaxSpeed
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if l.rawConductance(mid) < l.GMin {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}

@@ -1,0 +1,98 @@
+package coolant
+
+import "fmt"
+
+// DatacenterPUE is the default facility power-usage-effectiveness factor:
+// every watt of IT-side cooling power costs 1.30 W at the facility meter
+// (the industry-average overhead used by datacenter cooling models).
+const DatacenterPUE = 1.30
+
+// DefaultPackageChips is the chip count of the "liquid-package" variant.
+const DefaultPackageChips = 4
+
+// Facility folds a PUE overhead into the actuator's reported power: the
+// thermal physics (conductance) is untouched, but every watt the actuator
+// draws is accounted at PUE watts of facility power, so the optimizer
+// trades chip-side cooling against the true meter cost. PUE multiplies
+// the power derivative too, keeping the adjoint gradient exact.
+type Facility struct {
+	Base Actuator
+	PUE  float64
+}
+
+// Name implements Actuator.
+func (f Facility) Name() string { return fmt.Sprintf("facility[%.4g](%s)", f.PUE, f.Base.Name()) }
+
+// Validate implements Actuator.
+func (f Facility) Validate() error {
+	if f.Base == nil {
+		return fmt.Errorf("coolant: facility wrapper needs a base actuator")
+	}
+	if f.PUE < 1 {
+		return fmt.Errorf("coolant: PUE %g must be at least 1 (1 = no facility overhead)", f.PUE)
+	}
+	return f.Base.Validate()
+}
+
+// UMax implements Actuator.
+func (f Facility) UMax() float64 { return f.Base.UMax() }
+
+// Power implements Actuator: the base draw scaled to the facility meter.
+func (f Facility) Power(u float64) float64 { return f.PUE * f.Base.Power(u) }
+
+// DPowerDU implements Actuator.
+func (f Facility) DPowerDU(u float64) float64 { return f.PUE * f.Base.DPowerDU(u) }
+
+// Conductance implements Actuator: PUE is pure accounting, the thermal
+// path is the base actuator's.
+func (f Facility) Conductance(u float64) float64 { return f.Base.Conductance(u) }
+
+// DConductanceDU implements Actuator.
+func (f Facility) DConductanceDU(u float64) float64 { return f.Base.DConductanceDU(u) }
+
+// ColdPlate shares one actuator across the N identical chips of a
+// multi-chip package. The chips sit on a common isothermal cold-plate
+// spreader, so by symmetry each chip model sees 1/N of the plate's
+// conductance to ambient and is attributed 1/N of the shared pump (or
+// fan) power — one thermal model then represents one chip of the package
+// exactly, and package-level totals are N times the per-chip report.
+// This is the symmetric-replica reduction of the shared-spreader coupling:
+// with identical chips and power maps the full N-chip network block-
+// diagonalizes, and the per-chip block is the single-chip network with
+// the shared path split evenly.
+type ColdPlate struct {
+	Base  Actuator
+	Chips int
+}
+
+// Name implements Actuator.
+func (p ColdPlate) Name() string { return fmt.Sprintf("coldplate[%d](%s)", p.Chips, p.Base.Name()) }
+
+// Validate implements Actuator.
+func (p ColdPlate) Validate() error {
+	if p.Base == nil {
+		return fmt.Errorf("coolant: cold-plate wrapper needs a base actuator")
+	}
+	if p.Chips < 1 {
+		return fmt.Errorf("coolant: cold-plate chip count %d must be at least 1", p.Chips)
+	}
+	return p.Base.Validate()
+}
+
+// UMax implements Actuator: one command drives the whole package.
+func (p ColdPlate) UMax() float64 { return p.Base.UMax() }
+
+// Power implements Actuator: the per-chip share of the shared drive power.
+func (p ColdPlate) Power(u float64) float64 { return p.Base.Power(u) / float64(p.Chips) }
+
+// DPowerDU implements Actuator.
+func (p ColdPlate) DPowerDU(u float64) float64 { return p.Base.DPowerDU(u) / float64(p.Chips) }
+
+// Conductance implements Actuator: the per-chip share of the plate's
+// conductance to ambient.
+func (p ColdPlate) Conductance(u float64) float64 { return p.Base.Conductance(u) / float64(p.Chips) }
+
+// DConductanceDU implements Actuator.
+func (p ColdPlate) DConductanceDU(u float64) float64 {
+	return p.Base.DConductanceDU(u) / float64(p.Chips)
+}

@@ -435,15 +435,16 @@ func (s *System) bounds(mode Mode, fixedOmega float64, k int) (lower, upper []fl
 			upper[i] = limit
 		}
 	}
+	uMax := cfg.UMax()
 	switch mode {
 	case ModeHybrid:
-		upper[0] = cfg.Fan.OmegaMax
+		upper[0] = uMax
 		setCurrents(cfg.TEC.MaxCurrent)
 	case ModeVariableFan:
-		upper[0] = cfg.Fan.OmegaMax
+		upper[0] = uMax
 	case ModeFixedFan:
-		if fixedOmega < 0 || fixedOmega > cfg.Fan.OmegaMax {
-			return nil, nil, fmt.Errorf("core: fixed fan speed %g outside [0, %g]", fixedOmega, cfg.Fan.OmegaMax)
+		if fixedOmega < 0 || fixedOmega > uMax {
+			return nil, nil, fmt.Errorf("core: fixed actuator command %g outside [0, %g]", fixedOmega, uMax)
 		}
 		lower[0], upper[0] = fixedOmega, fixedOmega
 	case ModeTECOnly:

@@ -140,7 +140,7 @@ func SurfaceSystem(ctx context.Context, sys *core.System, nOmega, nI, workers in
 	out := make([]SurfacePoint, nOmega*nI)
 	batched := sys.SupportsBatch()
 	err := parallel.ForEach(ctx, nOmega, workers, func(i int) error {
-		omega := cfg.Fan.OmegaMax * float64(i) / float64(nOmega-1)
+		omega := cfg.UMax() * float64(i) / float64(nOmega-1)
 		if batched {
 			ops := make([]backend.OpPoint, nI)
 			for j := 0; j < nI; j++ {

@@ -431,6 +431,7 @@ func All() []*Analyzer {
 		NonFiniteAnalyzer,
 		CtxLeakAnalyzer,
 		BackendLeakAnalyzer,
+		FanLeakAnalyzer,
 		HotAllocAnalyzer,
 		LockOrderAnalyzer,
 		GoroLeakAnalyzer,

@@ -145,8 +145,8 @@ func TestAllHaveDocs(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 10 {
-		t.Errorf("expected the 10 analyzers of the suite, got %d", len(seen))
+	if len(seen) != 11 {
+		t.Errorf("expected the 11 analyzers of the suite, got %d", len(seen))
 	}
 }
 
@@ -195,6 +195,56 @@ func TestBackendLeakGolden(t *testing.T) {
 	// throughout and must contribute nothing.
 	for _, l := range lines {
 		if !strings.HasPrefix(l, "internal/core/") {
+			t.Errorf("diagnostic outside the scoped package: %s", l)
+		}
+	}
+}
+
+// TestFanLeakGolden exercises the fanleak analyzer against its fixture
+// module: a fake internal/fan, the exempt internal/coolant seam with its
+// FanSpec/HeatSinkSpec aliases, and a scoped internal/controller consumer
+// holding every leak shape — type references, signatures, a method call
+// smuggled through an alias value, the sanctioned //lint:ignore escape,
+// and the legal alias-carrying crossings.
+func TestFanLeakGolden(t *testing.T) {
+	root := filepath.Join("testdata", "src", "fanleak")
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", root, err)
+	}
+	analyzers, err := ByName([]string{"fanleak"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, d := range Run(pkgs, analyzers) {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = filepath.ToSlash(rel)
+		}
+		lines = append(lines, d.String())
+	}
+	got := strings.Join(lines, "\n") + "\n"
+	goldenPath := filepath.Join("testdata", "fanleak.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/lint -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if strings.TrimSpace(got) == "" {
+		t.Error("fixture produced no diagnostics; positives are missing")
+	}
+	// The exempt fixture packages (fan, coolant) reference the fan types
+	// throughout and must contribute nothing.
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "internal/controller/") {
 			t.Errorf("diagnostic outside the scoped package: %s", l)
 		}
 	}

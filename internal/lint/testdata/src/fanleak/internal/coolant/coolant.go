@@ -1,0 +1,26 @@
+// Package coolant mirrors the real seam package: it is exempt, and its
+// FanSpec/HeatSinkSpec aliases are the sanctioned way air parameters
+// travel through configs without naming the fan types.
+package coolant
+
+import "fixture/internal/fan"
+
+type (
+	FanSpec      = fan.Fan
+	HeatSinkSpec = fan.HeatSinkModel
+)
+
+type Actuator interface {
+	Power(u float64) float64
+	Conductance(u float64) float64
+}
+
+// Air adapts the fan pair to the Actuator contract; being inside the
+// exempt package, its fan references are the subject matter, not a leak.
+type Air struct {
+	Fan  FanSpec
+	Sink HeatSinkSpec
+}
+
+func (a Air) Power(u float64) float64       { return a.Fan.Power(u) }
+func (a Air) Conductance(u float64) float64 { return a.Sink.Conductance(u) }

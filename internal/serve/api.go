@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 
+	"oftec/internal/coolant"
 	"oftec/internal/core"
 	"oftec/internal/thermal"
 	"oftec/internal/units"
@@ -50,6 +51,9 @@ type ChipSpec struct {
 	AmbientC float64 `json:"ambient_c,omitempty"`
 	// Backend names the evaluation backend ("full", "rom"); empty = full.
 	Backend string `json:"backend,omitempty"`
+	// Coolant names the cooling actuator variant ("air", "liquid",
+	// "liquid-dc", "liquid-package"); empty = air, the paper's fan.
+	Coolant string `json:"coolant,omitempty"`
 }
 
 // config materializes the spec into a validated thermal configuration.
@@ -70,6 +74,11 @@ func (c ChipSpec) config() (thermal.Config, error) {
 	if c.AmbientC != 0 {
 		cfg.Ambient = units.CToK(c.AmbientC)
 	}
+	spec, err := coolant.SpecByName(c.Coolant)
+	if err != nil {
+		return thermal.Config{}, err
+	}
+	cfg.Coolant = spec
 	if err := cfg.Validate(); err != nil {
 		return thermal.Config{}, err
 	}

@@ -40,10 +40,10 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	omega := units.RPMToRadPerSec(req.OmegaRPM)
-	if omega > cfg.Fan.OmegaMax*(1+1e-9) {
+	if omega > cfg.UMax()*(1+1e-9) {
 		s.writeError(w, http.StatusBadRequest,
 			fmt.Errorf("serve: omega_rpm %g exceeds the fan maximum %g RPM",
-				req.OmegaRPM, units.RadPerSecToRPM(cfg.Fan.OmegaMax)))
+				req.OmegaRPM, units.RadPerSecToRPM(cfg.UMax())))
 		return
 	}
 

@@ -16,7 +16,7 @@ package thermal
 import (
 	"fmt"
 
-	"oftec/internal/fan"
+	"oftec/internal/coolant"
 	"oftec/internal/floorplan"
 	"oftec/internal/material"
 	"oftec/internal/units"
@@ -160,10 +160,19 @@ type Config struct {
 
 	// TEC is the thermoelectric deployment.
 	TEC TECSpec
-	// HeatSink is the fan-speed-dependent sink-to-ambient conductance law.
-	HeatSink fan.HeatSinkModel
-	// Fan is the forced-convection cooler.
-	Fan fan.Fan
+	// HeatSink is the fan-speed-dependent sink-to-ambient conductance law
+	// of the air actuator (Equation (9)).
+	HeatSink coolant.HeatSinkSpec
+	// Fan is the forced-convection cooler of the air actuator (Equation (8)).
+	Fan coolant.FanSpec
+	// Coolant optionally swaps the cooling actuator: nil (the zero
+	// configuration, and what every pre-seam configuration deserializes
+	// to) means air cooling through the Fan/HeatSink laws above,
+	// bit-for-bit. A liquid spec replaces both the conductance law and
+	// the drive-power law; PUE and Chips wrap whichever actuator is
+	// selected. The spec participates in the configuration JSON, so the
+	// serve-pool key and the ROM persistence identity change with it.
+	Coolant *coolant.Spec `json:",omitempty"`
 	// Leakage is the chip leakage model.
 	Leakage LeakageSpec
 
@@ -213,10 +222,11 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("thermal: TEC uncovered unit %q not in floorplan", name)
 		}
 	}
-	if err := c.HeatSink.Validate(); err != nil {
+	act, err := c.Actuator()
+	if err != nil {
 		return err
 	}
-	if err := c.Fan.Validate(); err != nil {
+	if err := act.Validate(); err != nil {
 		return err
 	}
 	if err := c.Leakage.Validate(); err != nil {
@@ -232,6 +242,36 @@ func (c *Config) Validate() error {
 	}
 	return nil
 }
+
+// Actuator resolves the cooling actuator this configuration drives: the
+// air fan + heat-sink pair when Coolant is nil or names "air", otherwise
+// whatever the spec selects. Resolution is a cheap value construction;
+// the model resolves once at build time and callers that only need the
+// command bound can use UMax.
+func (c *Config) Actuator() (coolant.Actuator, error) {
+	if c.Coolant == nil {
+		return coolant.Air{Fan: c.Fan, Sink: c.HeatSink}, nil
+	}
+	return c.Coolant.Resolve(c.Fan, c.HeatSink)
+}
+
+// UMax returns the actuator command upper bound (constraint (16)
+// generalized): the fan's ω_max under air cooling, the pump's maximum
+// speed under a liquid loop. An unresolvable coolant spec returns 0,
+// which every consumer rejects; Validate reports the underlying error.
+func (c *Config) UMax() float64 {
+	act, err := c.Actuator()
+	if err != nil {
+		return 0
+	}
+	return act.UMax()
+}
+
+// PackageChips returns how many chips share the configured actuator: 1
+// for a single-chip assembly, the cold-plate count for a multi-chip
+// package (the model then represents one chip of the package, and
+// package-level power totals are PackageChips times the report).
+func (c *Config) PackageChips() int { return c.Coolant.PackageChips() }
 
 func (c *Config) runawayTemp() float64 {
 	if c.RunawayTemp > 0 {
@@ -274,8 +314,8 @@ func DefaultConfig() Config {
 			LateralConductivity: material.Superlattice.Conductivity,
 			Uncovered:           floorplan.CacheUnits,
 		},
-		HeatSink: fan.PaperModel(),
-		Fan:      fan.PaperFan(),
+		HeatSink: coolant.PaperHeatSink(),
+		Fan:      coolant.PaperFan(),
 		Leakage: LeakageSpec{
 			P0Density: 2.4e4, // ≈ 6.1 W over the die at T0
 			Beta:      0.030,

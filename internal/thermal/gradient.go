@@ -219,8 +219,8 @@ func (m *Model) gradientAt(res *Result, omega float64, zoneOf []int, currents []
 
 	// ω: the design enters through the sink conductance g(ω) (matrix
 	// diagonal + ambient RHS) and the explicit fan power c·ω³.
-	g.PowerGrad[0] = m.cfg.Fan.DPowerDOmega(omega)
-	if dg := m.cfg.HeatSink.DConductanceDOmega(omega); dg != 0 {
+	g.PowerGrad[0] = m.act.DPowerDU(omega)
+	if dg := m.act.DConductanceDU(omega); dg != 0 {
 		var sP, sT float64
 		for i, frac := range m.sinkFrac {
 			n := m.node(planeSink, i)

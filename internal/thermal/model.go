@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"oftec/internal/coolant"
 	"oftec/internal/floorplan"
 	"oftec/internal/grid"
 	"oftec/internal/leakage"
@@ -48,6 +49,10 @@ type triplet struct {
 type Model struct {
 	cfg Config
 
+	// act is the cooling actuator resolved from cfg once at build time:
+	// the model consumes g(u) and the drive power only through this seam.
+	act coolant.Actuator
+
 	grids [numPlanes]*grid.Grid
 	off   [numPlanes]int
 	n     int
@@ -62,6 +67,7 @@ type Model struct {
 	sinkFrac []float64
 
 	// Per chip-grid-cell data.
+	dynMap   power.Map // last SetDynamicPower input (for WithCoolant rebuilds)
 	dyn      []float64 // dynamic power, W
 	leakA    []float64 // Taylor slope a, W/K
 	leakB    []float64 // Taylor value b at Tref, W
@@ -158,6 +164,11 @@ func NewModel(cfg Config, dyn power.Map) (*Model, error) {
 		return nil, err
 	}
 	m := &Model{cfg: cfg}
+	act, err := cfg.Actuator()
+	if err != nil {
+		return nil, err
+	}
+	m.act = act
 	if err := m.buildGrids(); err != nil {
 		return nil, err
 	}
@@ -182,6 +193,23 @@ func NewModel(cfg Config, dyn power.Map) (*Model, error) {
 
 // Config returns the model's configuration.
 func (m *Model) Config() Config { return m.cfg }
+
+// Actuator returns the cooling actuator the model was built with.
+func (m *Model) Actuator() coolant.Actuator { return m.act }
+
+// UMax returns the actuator command upper bound (ω_max for air, the pump
+// ceiling for a liquid loop).
+func (m *Model) UMax() float64 { return m.act.UMax() }
+
+// WithCoolant rebuilds the model with the same floorplan, calibration, and
+// dynamic power map but a different coolant spec — the hook the backend
+// registry's liquid and package variants use to re-actuate an assembled
+// model. A nil spec selects the air path.
+func (m *Model) WithCoolant(spec *coolant.Spec) (*Model, error) {
+	cfg := m.cfg
+	cfg.Coolant = spec
+	return NewModel(cfg, m.dynMap)
+}
 
 // NumNodes returns the total number of temperature nodes.
 func (m *Model) NumNodes() int { return m.n }
@@ -454,6 +482,7 @@ func (m *Model) SetDynamicPower(dyn power.Map) error {
 	if err != nil {
 		return err
 	}
+	m.dynMap = dyn
 	m.dyn = cells
 	m.dynGen.Add(1)
 	if m.resMem != nil {
@@ -623,8 +652,8 @@ func (m *Model) assembleInto(sc *evalScratch, omega float64, cur func(int) float
 	copy(sc.vals, m.baseVals)
 	copy(sc.rhs, m.baseRHS)
 
-	// Fan-dependent sink-to-ambient conductance.
-	g := m.cfg.HeatSink.Conductance(omega)
+	// Actuator-dependent sink-to-ambient conductance g(u).
+	g := m.act.Conductance(omega)
 	for i, frac := range m.sinkFrac {
 		n := m.node(planeSink, i)
 		sc.vals[m.diagIdx[n]] += g * frac
@@ -732,8 +761,8 @@ func (m *Model) assembleReference(omega float64, cur func(int) float64, linearLe
 	rhs := make([]float64, m.n)
 	copy(rhs, m.baseRHS)
 
-	// Fan-dependent sink-to-ambient conductance.
-	g := m.cfg.HeatSink.Conductance(omega)
+	// Actuator-dependent sink-to-ambient conductance g(u).
+	g := m.act.Conductance(omega)
 	for i, frac := range m.sinkFrac {
 		n := m.node(planeSink, i)
 		b.AddDiag(n, g*frac)

@@ -71,7 +71,7 @@ func (m *Model) runawayResult(omega, iTEC float64, stats sparse.Stats) *Result {
 		MaxChipCell: -1,
 		PLeakage:    math.Inf(1),
 		PTEC:        m.tecPowerAt(nil, iTEC),
-		PFan:        m.cfg.Fan.Power(omega),
+		PFan:        m.act.Power(omega),
 		PDynamic:    m.DynamicPowerTotal(),
 		SolveStats:  stats,
 	}
@@ -112,7 +112,7 @@ func (m *Model) buildResult(omega, iTEC float64, t []float64, stats sparse.Stats
 		T:           t,
 		ChipTemps:   make([]float64, nc),
 		MaxChipCell: -1,
-		PFan:        m.cfg.Fan.Power(omega),
+		PFan:        m.act.Power(omega),
 		PDynamic:    m.DynamicPowerTotal(),
 		SolveStats:  stats,
 	}
@@ -180,7 +180,7 @@ func (m *Model) EnergyBalance(res *Result) (float64, error) {
 	in := res.PDynamic + res.PLeakage + res.PTEC
 
 	var out float64
-	g := m.cfg.HeatSink.Conductance(res.Omega)
+	g := m.act.Conductance(res.Omega)
 	for i, frac := range m.sinkFrac {
 		out += g * frac * (res.T[m.node(planeSink, i)] - m.cfg.Ambient)
 	}

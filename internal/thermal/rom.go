@@ -171,7 +171,7 @@ type romScratch struct {
 func NewReducedModel(m *Model, opts ROMOptions) (*ReducedModel, error) {
 	opts.setDefaults()
 	cfg := m.Config()
-	omegaMax := cfg.Fan.OmegaMax
+	omegaMax := m.act.UMax()
 	iMax := cfg.TEC.MaxCurrent
 	if omegaMax <= 0 {
 		return nil, fmt.Errorf("thermal: ROM needs a positive fan speed range, got ΩMax=%g", omegaMax)
@@ -202,7 +202,7 @@ func NewReducedModel(m *Model, opts ROMOptions) (*ReducedModel, error) {
 // basis exists).
 func newReducedShell(m *Model) (*ReducedModel, error) {
 	cfg := m.Config()
-	r := &ReducedModel{m: m, runawayT: cfg.runawayTemp(), g0: cfg.HeatSink.Conductance(0)}
+	r := &ReducedModel{m: m, runawayT: cfg.runawayTemp(), g0: m.act.Conductance(0)}
 
 	// Capture the affine base: assemble once at (ω=0, I=0) with the linear
 	// leakage folded in, then copy the matrix values and RHS out of the
@@ -504,7 +504,7 @@ func (r *ReducedModel) ensureDyn() {
 // failed (singular projection — should not happen for a physical model).
 func (r *ReducedModel) reducedSolve(omega, itec float64) (t []float64, resNorm float64, ok bool) {
 	r.ensureDyn()
-	gd := r.m.cfg.HeatSink.Conductance(omega) - r.g0
+	gd := r.m.act.Conductance(omega) - r.g0
 	i2 := itec * itec
 
 	sc := r.scratch.Get().(*romScratch)

@@ -60,6 +60,13 @@ func romIdentity(m *Model, opts ROMOptions) (uint64, error) {
 	h := fnv.New64a()
 	//lint:ignore errdrop fnv's Write is documented to never fail
 	h.Write(cfgJSON)
+	// The coolant spec is already part of the config JSON; folding the
+	// resolved actuator name in as well guards against distinct actuators
+	// whose specs happen to serialize identically (e.g. a future default
+	// change): a basis snapshotted under one g(u) law must never answer
+	// for another.
+	//lint:ignore errdrop fnv's Write is documented to never fail
+	h.Write([]byte(m.act.Name()))
 	var buf [8]byte
 	w64 := func(v uint64) {
 		binary.LittleEndian.PutUint64(buf[:], v)
@@ -238,7 +245,7 @@ func loadCachedROM(m *Model, opts ROMOptions) (*ReducedModel, error) {
 // for this model and the caller rebuilds.
 func (r *ReducedModel) revalidate() error {
 	cfg := r.m.Config()
-	omegaMax := cfg.Fan.OmegaMax
+	omegaMax := r.m.act.UMax()
 	iMax := cfg.TEC.MaxCurrent
 	probes := []BatchPoint{
 		{Omega: r.omegaFloor + 0.25*(omegaMax-r.omegaFloor), ITEC: 0.3 * iMax},

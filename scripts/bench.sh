@@ -33,7 +33,7 @@ trap 'rm -f "$raw" "$parsed" "$current"' EXIT
 
 echo "== go test -bench (hot path, benchtime $BENCHTIME)"
 go test -run '^$' \
-	-bench '^(BenchmarkEvaluate|BenchmarkEvaluateExact|BenchmarkEvaluateCold|BenchmarkEvaluateExactCold|BenchmarkROMEvaluate|BenchmarkSurfaceGridBatched|BenchmarkROMColdStart|BenchmarkGradVsFD)$' \
+	-bench '^(BenchmarkEvaluate|BenchmarkEvaluateExact|BenchmarkEvaluateCold|BenchmarkEvaluateExactCold|BenchmarkROMEvaluate|BenchmarkSurfaceGridBatched|BenchmarkROMColdStart|BenchmarkGradVsFD|BenchmarkCoolantPower)$' \
 	-benchtime "$BENCHTIME" -benchmem . | tee "$raw"
 go test -run '^$' \
 	-bench '^(BenchmarkAssemble|BenchmarkAssembleReference)$' \
@@ -57,11 +57,11 @@ awk '
 
 jq -s 'map({(.name): del(.name)}) | add' "$parsed" >"$current"
 
-# Lint wall time: how long the full ten-analyzer oftecvet sweep takes
+# Lint wall time: how long the full eleven-analyzer oftecvet sweep takes
 # over the module, compiled first so the number is pure analysis (load +
 # type-check + analyzers), not go-build time. scripts/check.sh enforces
 # the budget; this records the trajectory next to the solver numbers.
-echo "== oftecvet wall time (full module, ten analyzers)"
+echo "== oftecvet wall time (full module, eleven analyzers)"
 vetbin="$(mktemp)"
 go build -o "$vetbin" ./cmd/oftecvet
 lint_start=$(date +%s%N)
@@ -153,11 +153,22 @@ jq -n \
 			# The honest direction is therefore how much faster the memo-hit
 			# path is than a ROM solve — not a ROM "speedup" over full.
 			repeated_full_vs_rom: ($cur.BenchmarkROMEvaluate.ns_per_op / $cur.BenchmarkEvaluate.ns_per_op)
+		},
+		# The coolant-seam comparison: the optimized cooling power 𝒫 of
+		# the full OFTEC run on the same floorplan under the air actuator
+		# versus the liquid cold-plate loop (BenchmarkCoolantPower legs).
+		# power_ratio < 1 means liquid deploys cheaper at the optimum.
+		coolant_liquid_vs_air: {
+			air:    $cur["BenchmarkCoolantPower/air"],
+			liquid: $cur["BenchmarkCoolantPower/liquid"],
+			power_ratio: ($cur["BenchmarkCoolantPower/liquid"].watts
+				/ $cur["BenchmarkCoolantPower/air"].watts)
 		}
 	}' >"$BACKEND_OUT"
 
 echo "== wrote $BACKEND_OUT"
 jq '.speedup' "$BACKEND_OUT"
+jq '{coolant_liquid_vs_air_power_ratio: .coolant_liquid_vs_air.power_ratio}' "$BACKEND_OUT"
 
 # The serving benchmark: oftecload self-hosts an oftecd and replays a
 # deterministic mixed workload (scalar/zoned evaluates, optimizes,

@@ -89,6 +89,19 @@ go test -race -run 'Batch|ROMPersist|Statz|DisableBatch|ROMCacheDir' \
 	./internal/sparse/... ./internal/thermal/... ./internal/backend/... \
 	./internal/core/... ./internal/serve/...
 
+# The coolant-conformance gate by name: the actuator contract (air
+# bit-identical to the fan package, knee continuity/monotonicity,
+# exact-zero saturated-branch derivative), every Table-2 mode DeepEqual
+# through the seam, liquid adjoint gradients vs central differences,
+# ROM-basis invalidation on actuator change, the liquid/package backend
+# registrations and the served coolant field, and the fanleak seam
+# analyzer — the set that keeps every actuator interchangeable.
+echo "== go test -race (coolant-actuator conformance)"
+go test -race \
+	-run 'Coolant|Liquid|AirSpec|AirBitIdentical|ActuatorChange|Knee|Saturated|TableTwoModes|ColdPlate|Facility|Package|SpecResolve|SpecJSON|FanLeak' \
+	./internal/coolant/... ./internal/thermal/... ./internal/core/... \
+	./internal/backend/... ./internal/serve/... ./internal/lint/...
+
 echo "== go test -race ./..."
 go test -race ./...
 
@@ -137,6 +150,12 @@ fi
 grep -q 'cache at exit' "$smokedir/log"
 trap 'rm -rf "$smokedir"' EXIT
 echo "   oftecd smoke: all endpoints answered, clean SIGTERM exit"
+
+# Regenerate the paper-table dump from scratch. The file is derived
+# output (gitignored, not committed — EXPERIMENTS.md quotes from it), so
+# the gate proves it stays regenerable from the current tree.
+echo "== go run ./cmd/benchtable -exp all > benchtable_output.txt"
+go run ./cmd/benchtable -exp all > benchtable_output.txt
 
 # One cold iteration of the 40×40 surface sweep in both serial and
 # parallel form, so the fan-out path is exercised end-to-end on every gate.
